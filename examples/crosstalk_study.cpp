@@ -1,0 +1,76 @@
+// Crosstalk study on coupled microstrips (the paper's §6.1 example-2 class
+// of problems): extract per-unit-length parameters with the 2-D field
+// solver, build modal transmission-line models, and sweep trace spacing to
+// see near/far-end crosstalk move.
+//
+// Build & run:  ./example_crosstalk_study
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "circuit/transient.hpp"
+#include "tline2d/mtl_extract.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+struct CrosstalkResult {
+    double z0 = 0, delay_ns = 0, near_pct = 0, far_pct = 0;
+};
+
+CrosstalkResult run_pair(double w, double s, double h, double eps_r,
+                         double length) {
+    const MtlParameters p = extract_microstrip(
+        {{-0.5 * (w + s), w}, {0.5 * (w + s), w}}, eps_r, h);
+    auto model = std::make_shared<ModalTline>(p, length);
+
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId a_in = nl.node("a_in");
+    const NodeId a_out = nl.node("a_out");
+    const NodeId b_in = nl.node("b_in");
+    const NodeId b_out = nl.node("b_out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.1e-9, 0.1e-9, 4e-9));
+    nl.add_resistor("Rs", src, a_in, 50.0);
+    nl.add_resistor("Rbn", b_in, nl.ground(), 50.0);
+    nl.add_tline("T1", {a_in, b_in}, {a_out, b_out}, model);
+    nl.add_resistor("Ral", a_out, nl.ground(), 50.0);
+    nl.add_resistor("Rbl", b_out, nl.ground(), 50.0);
+
+    TransientOptions opt;
+    opt.dt = 10e-12;
+    opt.tstop = 6e-9;
+    const TransientResult res = transient_analyze(nl, opt);
+
+    CrosstalkResult out;
+    const MtlParameters single = extract_microstrip({{0.0, w}}, eps_r, h);
+    const LineFigures f = line_figures(single);
+    out.z0 = f.z0;
+    out.delay_ns = f.delay_per_m * length * 1e9;
+    out.near_pct = 100.0 * res.peak_abs(b_in);       // aggressor step = 1 V
+    out.far_pct = 100.0 * res.peak_abs(b_out);
+    return out;
+}
+
+} // namespace
+
+int main() {
+    const double w = 0.2e-3, h = 0.15e-3, eps_r = 4.5, length = 0.1;
+    std::printf("coupled microstrip pair, w = %.0f um, h = %.0f um, er = %.1f, "
+                "len = %.0f mm\n\n",
+                w * 1e6, h * 1e6, eps_r, length * 1e3);
+    std::printf("%-12s %-10s %-12s %-12s %-12s\n", "s/w", "Z0 [ohm]",
+                "delay [ns]", "NEXT [%]", "FEXT [%]");
+    for (double s_over_w : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+        const CrosstalkResult r =
+            run_pair(w, s_over_w * w, h, eps_r, length);
+        std::printf("%-12.1f %-10.1f %-12.3f %-12.2f %-12.2f\n", s_over_w, r.z0,
+                    r.delay_ns, r.near_pct, r.far_pct);
+    }
+    std::printf("\nCrosstalk falls rapidly with spacing; the far-end kick "
+                "scales with the coupled length derivative, as expected for "
+                "inhomogeneous (microstrip) dielectrics.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+// Decoupling-capacitor placement study (the paper's headline application,
+// §6.2: "optimize the decoupling strategy which includes the placement,
+// number, and value of de-caps necessary for noise reduction against design
+// margin" — replacing the "play it safe and put as much as you could"
+// practice with simulation).
+//
+// A small board with four switching drivers is simulated with one 100 nF
+// decap placed (a) nowhere, (b) at the regulator, (c) at the board edge,
+// (d) next to the chip — and then with a value sweep at the best location.
+//
+// Build & run:  ./example_decap_placement
+#include <cstdio>
+#include <memory>
+
+#include "si/ssn.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+Board study_board() {
+    BoardStackup st;
+    st.plane_separation = 0.5e-3;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 0.6e-3;
+    Board b(0.12, 0.08, st, 3.3);
+    b.set_vrm_location({0.01, 0.01});
+    for (int d = 0; d < 4; ++d) {
+        DriverSite s;
+        s.name = "d" + std::to_string(d);
+        s.vcc_pin = {0.085 + 0.004 * d, 0.055};
+        s.gnd_pin = {0.085 + 0.004 * d, 0.045};
+        s.driver.ron_up = 20;
+        s.driver.ron_dn = 15;
+        s.load_c = 25e-12;
+        s.driver.input = Source::pulse(0, 1, 0.5e-9, 0.8e-9, 0.8e-9, 5e-9);
+        b.add_driver_site(s);
+    }
+    return b;
+}
+
+double plane_noise_with_decap(const Board& base, const Decap* decap,
+                              const SsnModelOptions& opt) {
+    Board b = base;
+    if (decap) b.add_decap(*decap);
+    auto plane = std::make_shared<PlaneModel>(b, opt);
+    const SsnModel model(plane);
+    const SwitchingSweepRow r = measure_noise(model, 25e-12, 6e-9);
+    return r.peak_plane_noise;
+}
+
+} // namespace
+
+int main() {
+    const Board base = study_board();
+    SsnModelOptions opt;
+    opt.mesh_pitch = 8e-3;
+    opt.interior_nodes = 10;
+    opt.prune_rel_tol = 0.03;
+
+    Decap proto;
+    proto.c = 100e-9;
+    proto.esr = 25e-3;
+    proto.esl = 0.8e-9;
+
+    std::printf("four 3.3 V drivers switching together on a 120 x 80 mm "
+                "board\n\n");
+    std::printf("%-28s %-18s\n", "decap placement", "peak plane noise [mV]");
+    const double none = plane_noise_with_decap(base, nullptr, opt);
+    std::printf("%-28s %-18.1f\n", "(none)", none * 1e3);
+    Decap d = proto;
+    d.pos = {0.012, 0.012};
+    std::printf("%-28s %-18.1f\n", "at the regulator",
+                plane_noise_with_decap(base, &d, opt) * 1e3);
+    d.pos = {0.06, 0.07};
+    std::printf("%-28s %-18.1f\n", "far board edge",
+                plane_noise_with_decap(base, &d, opt) * 1e3);
+    d.pos = {0.092, 0.05};
+    const double best = plane_noise_with_decap(base, &d, opt);
+    std::printf("%-28s %-18.1f\n", "next to the chip", best * 1e3);
+
+    std::printf("\n%-28s %-18s\n", "value at best location",
+                "peak plane noise [mV]");
+    for (double c : {10e-9, 47e-9, 100e-9, 470e-9, 1e-6}) {
+        Decap v = proto;
+        v.c = c;
+        v.pos = {0.092, 0.05};
+        std::printf("%-25.0f nF %-18.1f\n", c * 1e9,
+                    plane_noise_with_decap(base, &v, opt) * 1e3);
+    }
+    std::printf("\nPlacement dominates: a decap at the chip beats the same "
+                "part anywhere else, and beyond its ESL-limited value more "
+                "capacitance buys little — the paper's argument for simulating "
+                "rather than carpeting the board.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+// PDN impedance profile and target impedance (the modern frequency-domain
+// view of the paper's decoupling problem): compute |Z(f)| seen from a die
+// between Vcc and Gnd, compare against a target impedance line, and show how
+// a decap reshapes the profile.
+//
+// Build & run:  ./example_pdn_profile
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "circuit/ac.hpp"
+#include "si/decap_opt.hpp"
+
+using namespace pgsi;
+
+int main() {
+    BoardStackup st;
+    st.plane_separation = 0.4e-3;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 0.6e-3;
+    Board board(0.10, 0.08, st, 1.8);
+    board.set_vrm_location({0.01, 0.01});
+    DriverSite s;
+    s.name = "cpu";
+    s.vcc_pin = {0.07, 0.05};
+    s.gnd_pin = {0.07, 0.04};
+    s.driver.c_out = 10e-12;
+    s.load_c = 30e-12;
+    board.add_driver_site(s);
+    Decap d;
+    d.pos = {0.074, 0.045};
+    d.c = 220e-9;
+    d.esr = 20e-3;
+    d.esl = 0.7e-9;
+    board.add_decap(d);
+
+    SsnModelOptions opt;
+    opt.mesh_pitch = 8e-3;
+    opt.interior_nodes = 10;
+    opt.prune_rel_tol = 0.03;
+    auto plane = std::make_shared<PlaneModel>(board, opt);
+
+    const SsnModel bare(plane, std::size_t{0});
+    const SsnModel with(plane, std::size_t{1});
+
+    // Target impedance at the board pins: Z_t = Vdd·ripple% / I_transient.
+    const double z_target = 1.8 * 0.05 / 2.0; // 45 mΩ for a 2 A transient
+    const VectorD freqs = log_space(1e6, 1e9, 4);
+    const VectorD zb_bare = pdn_impedance_profile_board(bare, 0, freqs);
+    const VectorD zb_with = pdn_impedance_profile_board(with, 0, freqs);
+    const VectorD zd_with = pdn_impedance_profile(with, 0, freqs);
+
+    std::printf("PDN impedance, 1.8 V rail (board-pin target %.0f mohm):\n\n",
+                z_target * 1e3);
+    std::printf("%-10s %-16s %-16s %-8s %-16s\n", "f [MHz]",
+                "board, no decap", "board, 220n", "meets?", "die, 220n");
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        std::printf("%-10.1f %-16.1f %-16.1f %-8s %-16.1f\n", freqs[i] / 1e6,
+                    zb_bare[i] * 1e3, zb_with[i] * 1e3,
+                    zb_with[i] <= z_target ? "yes" : "NO", zd_with[i] * 1e3);
+
+    std::printf("\nThe decap holds the board-level impedance near the target "
+                "through the mid band; the die-level profile still climbs "
+                "with frequency — that residue is the package-pin inductance, "
+                "which only die/interposer capacitance can address. Exactly "
+                "the hierarchy behind the paper's decoupling discussion.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Split MCM power planes (the paper's Fig. 1): a 3.3 V net and a 5 V net
+// tile the same layer as complementary shapes over a common ground plane,
+// 0.5 mm below. The two nets are galvanically separate but couple through
+// the fields — this example extracts both nets in one model and quantifies
+// the coupling and how switching noise on one net leaks into the other.
+//
+// Build & run:  ./example_split_plane_mcm
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/ac.hpp"
+#include "circuit/transient.hpp"
+#include "em/bem_plane.hpp"
+#include "extract/peec_stamp.hpp"
+
+using namespace pgsi;
+
+int main() {
+    // Complementary L-shaped split: VCC0 (3.3 V) takes the left/bottom L,
+    // VCC1 (5 V) the upper-right rectangle, with a 2 mm gap, over a common
+    // ground (image) plane 0.5 mm below.
+    const double wx = 0.05, wy = 0.04, split_x = 0.028, split_y = 0.022;
+    ConductorShape vcc0;
+    vcc0.outline = Polygon::lshape(wx, wy, split_x, split_y);
+    vcc0.z = 0.5e-3;
+    vcc0.sheet_resistance = 0.6e-3;
+    vcc0.name = "vcc0_3v3";
+    ConductorShape vcc1;
+    vcc1.outline =
+        Polygon::rectangle(split_x + 2e-3, split_y + 2e-3, wx, wy);
+    vcc1.z = 0.5e-3;
+    vcc1.sheet_resistance = 0.6e-3;
+    vcc1.name = "vcc1_5v";
+
+    const RectMesh mesh({vcc0, vcc1}, 2.5e-3);
+    std::printf("split planes: %zu cells across %zu nets\n", mesh.node_count(),
+                mesh.component_count());
+    const PlaneBem bem(mesh, Greens::homogeneous(4.2, true), BemOptions{});
+
+    // PEEC realization (passive for multi-net structures).
+    Netlist nl;
+    std::vector<NodeId> map;
+    for (std::size_t k = 0; k < bem.node_count(); ++k)
+        map.push_back(nl.add_node("m" + std::to_string(k)));
+    stamp_peec(nl, bem, map, nl.ground(), "mcm", PeecOptions{5e-3, 5e-3});
+
+    const std::size_t pin0 = mesh.nearest_node({0.008, 0.008}, 0);
+    const std::size_t pin1 = mesh.nearest_node({0.045, 0.035}, 1);
+
+    // Frequency-domain coupling: drive net 0, measure transfer to net 1.
+    Netlist ac_nl = nl;
+    ac_nl.add_isource("I1", ac_nl.ground(), map[pin0],
+                      Source::dc(0.0).set_ac(1.0));
+    ac_nl.add_resistor("Rterm", map[pin1], ac_nl.ground(), 50.0);
+    std::printf("\n%-12s %-14s %-16s\n", "f [MHz]", "|Z11| [ohm]",
+                "|Z21->50ohm| [ohm]");
+    for (double f : {10e6, 50e6, 200e6, 500e6, 1e9, 2e9}) {
+        const AcSolution s = ac_analyze(ac_nl, f);
+        std::printf("%-12.0f %-14.3f %-16.4f\n", f / 1e6,
+                    std::abs(s.v(map[pin0])), std::abs(s.v(map[pin1])));
+    }
+
+    // Time domain: inject a switching-current spike into the 3.3 V net and
+    // watch the 5 V net bounce across the split.
+    Netlist tr_nl = nl;
+    tr_nl.add_isource("Isw", map[pin0], tr_nl.ground(),
+                      Source::pulse(0, 0.5, 0.2e-9, 0.3e-9, 0.3e-9, 1e-9));
+    tr_nl.add_resistor("R0", map[pin0], tr_nl.ground(), 1e3);
+    tr_nl.add_resistor("R1", map[pin1], tr_nl.ground(), 1e3);
+    TransientOptions opt;
+    opt.dt = 20e-12;
+    opt.tstop = 5e-9;
+    opt.probes = {map[pin0], map[pin1]};
+    const TransientResult res = transient_analyze(tr_nl, opt);
+    std::printf("\n0.5 A switching spike on the 3.3 V net:\n");
+    std::printf("  noise on the aggressor net : %7.1f mV\n",
+                res.peak_abs(map[pin0]) * 1e3);
+    std::printf("  coupled across the split   : %7.1f mV  (%.1f%%)\n",
+                res.peak_abs(map[pin1]) * 1e3,
+                100.0 * res.peak_abs(map[pin1]) / res.peak_abs(map[pin0]));
+    std::printf("\nThe split limits but does not eliminate coupling — the "
+                "shared ground return and fringing fields carry noise across, "
+                "the 'ground discontinuity' effect the paper calls out.\n");
+    return 0;
+}

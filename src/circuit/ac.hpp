@@ -1,0 +1,36 @@
+// Frequency-domain (AC small-signal) analysis (§5.1: "frequency domain
+// simulations are useful for gaining insight of high frequency
+// characteristics ... used for verification in comparison with experimental
+// measurements ... in terms of S-parameters").
+#pragma once
+
+#include "circuit/mna.hpp"
+
+namespace pgsi {
+
+/// Phasor solution of one AC analysis point.
+struct AcSolution {
+    double freq_hz = 0;
+    VectorC node_voltage;     ///< indexed by NodeId (entry 0 = ground)
+    VectorC vsource_current;  ///< per netlist voltage source
+
+    Complex v(NodeId n) const { return node_voltage[n]; }
+};
+
+/// Solve the linearized netlist at one frequency. Sources contribute their
+/// AC phasors (set via Source::set_ac); drivers are linearized at their
+/// t = 0 conductances; transmission lines use their exact trigonometric
+/// admittance.
+AcSolution ac_analyze(const Netlist& nl, double freq_hz);
+
+/// Sweep helper.
+std::vector<AcSolution> ac_sweep(const Netlist& nl, const VectorD& freqs_hz);
+
+/// Logarithmically spaced frequency grid, points_per_decade points per
+/// decade from f_start to f_stop (inclusive endpoints).
+VectorD log_space(double f_start, double f_stop, int points_per_decade);
+
+/// Linearly spaced grid with n points from a to b inclusive.
+VectorD lin_space(double a, double b, int n);
+
+} // namespace pgsi

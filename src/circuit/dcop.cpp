@@ -1,0 +1,118 @@
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "numeric/lu.hpp"
+
+namespace pgsi {
+
+namespace {
+
+// One linear(ized) DC solve: table elements are stamped at the linearization
+// voltages in `table_v` (Newton companion: g = di/dv, ieq = i(v) - g·v).
+VectorD dc_solve_linearized(const Netlist& nl, const MnaLayout& lay,
+                            const VectorD& table_v) {
+    MatrixD m(lay.dim(), lay.dim());
+    VectorD b(lay.dim(), 0.0);
+
+    for (const Resistor& r : nl.resistors())
+        stamp_conductance(m, lay, r.a, r.b, 1.0 / r.r);
+
+    for (const DriverInstance& d : nl.drivers()) {
+        stamp_conductance(m, lay, d.out, d.vcc, d.params.g_up(0.0));
+        stamp_conductance(m, lay, d.out, d.gnd, d.params.g_dn(0.0));
+    }
+
+    for (std::size_t k = 0; k < nl.table_conductances().size(); ++k) {
+        const TableConductance& tc = nl.table_conductances()[k];
+        const double v = table_v[k];
+        const double g = tc.iv.slope(v);
+        const double ieq = tc.iv(v) - g * v;
+        stamp_conductance(m, lay, tc.a, tc.b, g);
+        stamp_current(b, lay, tc.a, -ieq);
+        stamp_current(b, lay, tc.b, +ieq);
+    }
+
+    // Inductors: branch current unknown, branch equation V_a - V_b = R·I.
+    // A loop of *ideal* inductors makes the DC system structurally singular
+    // (the circulating current is undetermined), and extracted plane models
+    // are full of such loops — including mutual-coupling branches between
+    // galvanically separate planes, which must NOT become DC shorts. The
+    // regularization resistance is therefore taken *proportional to the
+    // branch inductance* (r = L/τ, τ = 1 s): the resulting DC conductance
+    // network is exactly τ·Γ, which preserves the inductive network's
+    // per-component current conservation, so no spurious inter-plane DC path
+    // appears while every loop current is pinned. Voltages move by < nV.
+    constexpr double kDcLoopRegPerSecond = 1.0; // r = L · this
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+        const Inductor& l = nl.inductors()[k];
+        const std::size_t cur = lay.inductor_current(k);
+        stamp_branch_incidence(m, lay, l.a, l.b, cur);
+        m(cur, cur) -= (l.r > 0 ? l.r : l.l * kDcLoopRegPerSecond);
+    }
+
+    // Voltage sources: branch equation V_a - V_b = value.
+    for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+        const VSource& v = nl.vsources()[k];
+        const std::size_t cur = lay.vsource_current(k);
+        stamp_branch_incidence(m, lay, v.a, v.b, cur);
+        b[cur] += v.src.dc_value();
+    }
+
+    for (const ISource& i : nl.isources()) {
+        // Positive source current flows a -> b through the source, i.e. it is
+        // extracted from node a and injected into node b.
+        stamp_current(b, lay, i.a, -i.src.dc_value());
+        stamp_current(b, lay, i.b, +i.src.dc_value());
+    }
+
+    for (const TlineInstance& t : nl.tlines())
+        for (std::size_t c = 0; c < t.near.size(); ++c)
+            stamp_conductance(m, lay, t.near[c], t.far[c], kTlineDcShort);
+
+    return Lu<double>(std::move(m)).solve(b);
+}
+
+} // namespace
+
+DcSolution dc_operating_point(const Netlist& nl) {
+    const MnaLayout lay(nl);
+    const std::size_t ntab = nl.table_conductances().size();
+
+    VectorD table_v(ntab, 0.0);
+    VectorD x;
+    constexpr int kMaxNewton = 60;
+    for (int iter = 0;; ++iter) {
+        x = dc_solve_linearized(nl, lay, table_v);
+        if (ntab == 0) break;
+        auto node_v = [&](NodeId n) {
+            const std::size_t i = lay.node(n);
+            return i == MnaLayout::npos ? 0.0 : x[i];
+        };
+        double worst = 0;
+        for (std::size_t k = 0; k < ntab; ++k) {
+            const TableConductance& tc = nl.table_conductances()[k];
+            const double v = node_v(tc.a) - node_v(tc.b);
+            worst = std::max(worst, std::abs(v - table_v[k]));
+            // Damped update improves robustness across table breakpoints.
+            table_v[k] += 0.8 * (v - table_v[k]);
+        }
+        if (worst < 1e-9) break;
+        if (iter >= kMaxNewton)
+            throw NumericalError(
+                "dc_operating_point: Newton iteration did not converge");
+    }
+
+    DcSolution sol;
+    sol.node_voltage.assign(nl.node_count(), 0.0);
+    for (NodeId n = 1; n < nl.node_count(); ++n) sol.node_voltage[n] = x[lay.node(n)];
+    sol.inductor_current.resize(nl.inductors().size());
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k)
+        sol.inductor_current[k] = x[lay.inductor_current(k)];
+    sol.vsource_current.resize(nl.vsources().size());
+    for (std::size_t k = 0; k < nl.vsources().size(); ++k)
+        sol.vsource_current[k] = x[lay.vsource_current(k)];
+    return sol;
+}
+
+} // namespace pgsi

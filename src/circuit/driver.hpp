@@ -1,0 +1,44 @@
+// Behavioral CMOS output driver (§5.2).
+//
+// The paper's SSN mechanism is driven by output stages drawing transient
+// current from the power/ground network through package parasitics. The
+// driver is modeled as a push-pull pair of time-varying conductances:
+//
+//     Vcc ──[ g_up(t) ]──┬── out
+//     Gnd ──[ g_dn(t) ]──┘        (+ optional output capacitance to Gnd)
+//
+// with g_up(t) = s(t)/Ron_up, g_dn(t) = (1 - s(t))/Ron_dn, where s(t) ∈ [0,1]
+// is the (slew-limited) logic input waveform. During a transition both
+// devices partially conduct, producing the realistic crowbar + load charging
+// current that excites the planes. This is the "proprietary behavioral
+// device model" class of the paper, reimplemented openly; IBIS-style tables
+// can be approximated by choosing Ron values per corner.
+#pragma once
+
+#include <algorithm>
+
+#include "circuit/sources.hpp"
+
+namespace pgsi {
+
+/// Parameters of a behavioral push-pull driver.
+struct DriverParams {
+    double ron_up = 25.0;   ///< pull-up on-resistance [ohm]
+    double ron_dn = 20.0;   ///< pull-down on-resistance [ohm]
+    double roff = 1e9;      ///< off-state resistance [ohm]
+    double c_out = 3e-12;   ///< output (die + pad) capacitance to Gnd [F]
+    Source input = Source::dc(0.0); ///< logic waveform in [0,1]; 1 = drive high
+
+    /// Pull-up conductance at time t.
+    double g_up(double t) const {
+        const double s = std::clamp(input.value(t), 0.0, 1.0);
+        return s / ron_up + (1.0 - s) / roff;
+    }
+    /// Pull-down conductance at time t.
+    double g_dn(double t) const {
+        const double s = std::clamp(input.value(t), 0.0, 1.0);
+        return (1.0 - s) / ron_dn + s / roff;
+    }
+};
+
+} // namespace pgsi

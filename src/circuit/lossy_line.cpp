@@ -1,0 +1,103 @@
+#include "circuit/lossy_line.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+LossyMtlParameters LossyMtlParameters::from_lossless(const MtlParameters& p,
+                                                     double r_per_m,
+                                                     double g_per_m) {
+    LossyMtlParameters out;
+    out.l = p.l;
+    out.c = p.c;
+    out.r.assign(p.conductor_count(), r_per_m);
+    out.g.assign(p.conductor_count(), g_per_m);
+    return out;
+}
+
+LossyLineTerminals stamp_lossy_line(Netlist& nl, const std::string& name,
+                                    const std::vector<NodeId>& in,
+                                    const std::vector<NodeId>& out, NodeId ref,
+                                    const LossyMtlParameters& params,
+                                    double length, int sections,
+                                    double max_freq_hz) {
+    const std::size_t nc = params.conductor_count();
+    PGSI_REQUIRE(nc >= 1, "stamp_lossy_line: no conductors");
+    PGSI_REQUIRE(in.size() == nc && out.size() == nc,
+                 "stamp_lossy_line: terminal count mismatch");
+    PGSI_REQUIRE(params.r.size() == nc && params.g.size() == nc,
+                 "stamp_lossy_line: loss vector size mismatch");
+    PGSI_REQUIRE(length > 0, "stamp_lossy_line: length must be positive");
+    PGSI_REQUIRE(sections >= 1, "stamp_lossy_line: need at least one section");
+
+    if (max_freq_hz > 0) {
+        // Slowest mode sets the shortest wavelength on the line.
+        double lc_max = 0;
+        for (std::size_t i = 0; i < nc; ++i)
+            lc_max = std::max(lc_max, params.l(i, i) * params.c(i, i));
+        const double wavelength = 1.0 / (max_freq_hz * std::sqrt(lc_max));
+        PGSI_REQUIRE(length / sections <= wavelength / 10.0,
+                     "stamp_lossy_line: too few sections for max_freq_hz "
+                     "(need >= 10 per wavelength)");
+    }
+
+    const double dl = length / sections;
+    std::vector<NodeId> cur = in;
+    std::vector<std::vector<std::string>> lnames(
+        sections, std::vector<std::string>(nc));
+
+    for (int s = 0; s < sections; ++s) {
+        std::vector<NodeId> next(nc);
+        const std::string stag = name + "_s" + std::to_string(s);
+        for (std::size_t k = 0; k < nc; ++k) {
+            next[k] = (s + 1 == sections)
+                          ? out[k]
+                          : nl.add_node(stag + "_c" + std::to_string(k));
+            // Series R folded into the section inductor.
+            lnames[s][k] = "L" + stag + "_c" + std::to_string(k);
+            nl.add_inductor(lnames[s][k], cur[k], next[k], params.l(k, k) * dl,
+                            params.r[k] * dl);
+        }
+        // Mutual inductive coupling inside the section.
+        for (std::size_t i = 0; i < nc; ++i)
+            for (std::size_t j = i + 1; j < nc; ++j)
+                if (params.l(i, j) != 0.0)
+                    nl.add_mutual("K" + stag + "_" + std::to_string(i) + "_" +
+                                      std::to_string(j),
+                                  lnames[s][i], lnames[s][j],
+                                  params.l(i, j) / std::sqrt(params.l(i, i) *
+                                                             params.l(j, j)));
+        // Shunt network at the section output: node caps + mutual caps + G.
+        for (std::size_t i = 0; i < nc; ++i) {
+            double crow = 0;
+            for (std::size_t j = 0; j < nc; ++j) crow += params.c(i, j);
+            if (crow > 0)
+                nl.add_capacitor("C" + stag + "_g" + std::to_string(i), next[i],
+                                 ref, crow * dl);
+            for (std::size_t j = i + 1; j < nc; ++j) {
+                const double cm = -params.c(i, j);
+                if (cm != 0.0)
+                    nl.add_capacitor("C" + stag + "_" + std::to_string(i) + "_" +
+                                         std::to_string(j),
+                                     next[i], next[j], cm * dl);
+            }
+            if (params.g[i] > 0)
+                nl.add_resistor("Rg" + stag + "_c" + std::to_string(i), next[i],
+                                ref, 1.0 / (params.g[i] * dl));
+        }
+        cur = next;
+    }
+    return {in, out, static_cast<std::size_t>(sections)};
+}
+
+double matched_line_attenuation(const LossyMtlParameters& p, double length) {
+    PGSI_REQUIRE(p.conductor_count() == 1,
+                 "matched_line_attenuation: single conductor expected");
+    const double z0 = std::sqrt(p.l(0, 0) / p.c(0, 0));
+    const double alpha = p.r[0] / (2.0 * z0) + p.g[0] * z0 / 2.0;
+    return std::exp(-alpha * length);
+}
+
+} // namespace pgsi

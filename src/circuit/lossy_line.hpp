@@ -1,0 +1,60 @@
+// Lossy multiconductor transmission lines by RLGC ladder segmentation.
+//
+// The method-of-characteristics model (tline.hpp) is exact but lossless;
+// real traces carry conductor resistance R [ohm/m] and dielectric
+// conductance G [S/m]. The classic engineering remedy — and the one a
+// quasi-static tool like the paper's uses when loss matters — is to chain
+// N short lumped sections:
+//
+//     in ──[R/N·len]──[L/N·len]──┬── ... ──┬── out
+//                                C/N·len   C/N·len  (+ G in parallel)
+//
+// with full mutual inductive and capacitive coupling between conductors in
+// every section. N sections are accurate to roughly N/10 wavelengths; the
+// helper checks the sampling against a caller-provided maximum frequency.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "circuit/tline.hpp"
+
+namespace pgsi {
+
+/// Per-unit-length description of a lossy multiconductor line.
+struct LossyMtlParameters {
+    MatrixD l;  ///< inductance [H/m], SPD
+    MatrixD c;  ///< Maxwell capacitance [F/m], SPD
+    VectorD r;  ///< series resistance per conductor [ohm/m]
+    VectorD g;  ///< shunt conductance per conductor to reference [S/m]
+
+    std::size_t conductor_count() const { return l.rows(); }
+
+    /// Lift a lossless extraction, adding uniform per-conductor loss.
+    static LossyMtlParameters from_lossless(const MtlParameters& p,
+                                            double r_per_m, double g_per_m = 0);
+};
+
+/// Result handles of a stamped ladder.
+struct LossyLineTerminals {
+    std::vector<NodeId> near; ///< first-section input nodes (== caller's in)
+    std::vector<NodeId> far;  ///< last-section output nodes (== caller's out)
+    std::size_t sections = 0;
+};
+
+/// Stamp an N-section lossy line between the given terminal node vectors.
+/// `ref` is the return/reference node for the shunt elements. Element names
+/// are prefixed by `name`. Throws if the segmentation under-resolves
+/// `max_freq_hz` (needs ≥ 10 sections per wavelength of the slowest mode);
+/// pass 0 to skip the check.
+LossyLineTerminals stamp_lossy_line(Netlist& nl, const std::string& name,
+                                    const std::vector<NodeId>& in,
+                                    const std::vector<NodeId>& out, NodeId ref,
+                                    const LossyMtlParameters& params,
+                                    double length, int sections,
+                                    double max_freq_hz = 0);
+
+/// Analytic attenuation of a matched single lossy line: exp(−α·len) with
+/// α = R/(2·Z0) + G·Z0/2 (low-loss approximation). Used by tests and
+/// benches as the reference.
+double matched_line_attenuation(const LossyMtlParameters& p, double length);
+
+} // namespace pgsi

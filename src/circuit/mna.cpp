@@ -1,0 +1,11 @@
+#include "circuit/mna.hpp"
+
+namespace pgsi {
+
+MnaLayout::MnaLayout(const Netlist& nl) {
+    nn_ = nl.node_count() - 1;
+    nl_ = nl.inductors().size();
+    dim_ = nn_ + nl_ + nl.vsources().size();
+}
+
+} // namespace pgsi

@@ -1,0 +1,145 @@
+#include "circuit/netlist.hpp"
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+Netlist::Netlist() {
+    names_.push_back("0");
+    by_name_["0"] = 0;
+}
+
+NodeId Netlist::add_node(const std::string& name) {
+    std::string n = name.empty() ? "_n" + std::to_string(names_.size()) : name;
+    PGSI_REQUIRE(by_name_.find(n) == by_name_.end(),
+                 "Netlist: duplicate node name '" + n + "'");
+    const NodeId id = names_.size();
+    names_.push_back(n);
+    by_name_[n] = id;
+    return id;
+}
+
+NodeId Netlist::node(const std::string& name) {
+    PGSI_REQUIRE(!name.empty(), "Netlist: empty node name");
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    return add_node(name);
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    PGSI_REQUIRE(it != by_name_.end(), "Netlist: unknown node '" + name + "'");
+    return it->second;
+}
+
+const std::string& Netlist::node_name(NodeId n) const {
+    PGSI_REQUIRE(n < names_.size(), "Netlist: node id out of range");
+    return names_[n];
+}
+
+void Netlist::check_node(NodeId n, const char* ctx) const {
+    PGSI_REQUIRE(n < names_.size(), std::string("Netlist: bad node in ") + ctx);
+}
+
+void Netlist::add_resistor(const std::string& name, NodeId a, NodeId b, double r) {
+    check_node(a, "resistor");
+    check_node(b, "resistor");
+    // Negative resistances are admitted for macromodel synthesis (Foster
+    // sections of non-positive-real fits); MNA handles them directly.
+    PGSI_REQUIRE(r != 0, "Netlist: resistor '" + name + "' must be nonzero");
+    resistors_.push_back({name, a, b, r});
+}
+
+void Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b, double c) {
+    check_node(a, "capacitor");
+    check_node(b, "capacitor");
+    // Negative capacitances are admitted: congruence-reduced plane models
+    // can produce small negative branch capacitors, and the MNA companion
+    // models handle either sign.
+    PGSI_REQUIRE(c != 0, "Netlist: capacitor '" + name + "' must be nonzero");
+    capacitors_.push_back({name, a, b, c});
+}
+
+std::size_t Netlist::add_inductor(const std::string& name, NodeId a, NodeId b,
+                                  double l, double series_r) {
+    check_node(a, "inductor");
+    check_node(b, "inductor");
+    // Negative inductances are admitted: the paper's element-wise equivalent
+    // circuit (eq 24) can produce them for weakly coupled distant node pairs,
+    // and MNA handles them without special cases.
+    PGSI_REQUIRE(l != 0, "Netlist: inductor '" + name + "' must be nonzero");
+    inductors_.push_back({name, a, b, l, series_r});
+    return inductors_.size() - 1;
+}
+
+void Netlist::add_mutual(const std::string& name, const std::string& l1,
+                         const std::string& l2, double k) {
+    PGSI_REQUIRE(k > -1.0 && k < 1.0, "Netlist: |k| must be < 1");
+    mutuals_.push_back({name, inductor_index(l1), inductor_index(l2), k});
+}
+
+void Netlist::add_vsource(const std::string& name, NodeId a, NodeId b, Source src) {
+    check_node(a, "vsource");
+    check_node(b, "vsource");
+    vsources_.push_back({name, a, b, std::move(src)});
+}
+
+void Netlist::add_isource(const std::string& name, NodeId a, NodeId b, Source src) {
+    check_node(a, "isource");
+    check_node(b, "isource");
+    isources_.push_back({name, a, b, std::move(src)});
+}
+
+void Netlist::add_driver(const std::string& name, NodeId out, NodeId vcc,
+                         NodeId gnd, DriverParams params) {
+    check_node(out, "driver");
+    check_node(vcc, "driver");
+    check_node(gnd, "driver");
+    PGSI_REQUIRE(params.ron_up > 0 && params.ron_dn > 0 && params.roff > 0,
+                 "Netlist: driver resistances must be positive");
+    drivers_.push_back({name, out, vcc, gnd, std::move(params)});
+}
+
+void Netlist::add_table_conductance(const std::string& name, NodeId a, NodeId b,
+                                    VectorD v, VectorD i) {
+    check_node(a, "table conductance");
+    check_node(b, "table conductance");
+    tables_.push_back({name, a, b, PiecewiseLinear(std::move(v), std::move(i))});
+}
+
+void Netlist::add_tline(const std::string& name, std::vector<NodeId> near,
+                        std::vector<NodeId> far,
+                        std::shared_ptr<const ModalTline> model, NodeId near_ref,
+                        NodeId far_ref) {
+    PGSI_REQUIRE(model != nullptr, "Netlist: tline model is null");
+    PGSI_REQUIRE(near.size() == model->conductor_count() &&
+                     far.size() == model->conductor_count(),
+                 "Netlist: tline terminal count mismatch");
+    for (NodeId n : near) check_node(n, "tline");
+    for (NodeId n : far) check_node(n, "tline");
+    check_node(near_ref, "tline");
+    check_node(far_ref, "tline");
+    tlines_.push_back({name, std::move(near), std::move(far), near_ref, far_ref,
+                       std::move(model)});
+}
+
+void Netlist::add_sparam_block(const std::string& name,
+                               std::vector<NodeId> nodes,
+                               std::shared_ptr<const TouchstoneData> data,
+                               NodeId ref) {
+    PGSI_REQUIRE(data != nullptr && !data->s.empty(),
+                 "Netlist: S-parameter block needs data");
+    PGSI_REQUIRE(nodes.size() == data->s.front().rows(),
+                 "Netlist: S-parameter block port-count mismatch");
+    for (NodeId n : nodes) check_node(n, "sparam block");
+    check_node(ref, "sparam block");
+    sblocks_.push_back({name, std::move(nodes), ref, std::move(data)});
+}
+
+std::size_t Netlist::inductor_index(const std::string& name) const {
+    for (std::size_t i = 0; i < inductors_.size(); ++i)
+        if (inductors_[i].name == name) return i;
+    throw InvalidArgument("Netlist: unknown inductor '" + name + "'");
+}
+
+} // namespace pgsi

@@ -1,0 +1,208 @@
+// Circuit netlist model consumed by the MNA analyses (§5.1).
+//
+// A Netlist is a flat container of linear(ized) elements: R, L (with mutual
+// coupling), C, independent V/I sources, behavioral drivers (time-varying
+// conductance pairs) and lossless multiconductor transmission lines. Node 0
+// is ground. Nodes can be created anonymously or looked up by name; names
+// are what the SPICE-subset parser and exporters use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/driver.hpp"
+#include "circuit/sources.hpp"
+#include "circuit/tline.hpp"
+#include "io/touchstone.hpp"
+
+namespace pgsi {
+
+/// Node handle. 0 is ground.
+using NodeId = std::size_t;
+
+/// Linear resistor between nodes a and b.
+struct Resistor {
+    std::string name;
+    NodeId a = 0, b = 0;
+    double r = 0;
+};
+
+/// Linear capacitor between nodes a and b.
+struct Capacitor {
+    std::string name;
+    NodeId a = 0, b = 0;
+    double c = 0;
+};
+
+/// Linear inductor between nodes a and b, with an optional built-in series
+/// resistance (so extracted R–L branches need no internal node). Carries its
+/// own MNA current unknown, so mutual coupling and zero-resistance paths are
+/// exact.
+struct Inductor {
+    std::string name;
+    NodeId a = 0, b = 0;
+    double l = 0;
+    double r = 0; ///< series resistance [ohm]
+};
+
+/// Mutual coupling between two inductors, SPICE K-element semantics:
+/// M = k·sqrt(L1·L2).
+struct MutualCoupling {
+    std::string name;
+    std::size_t l1 = 0, l2 = 0; ///< indices into the inductor list
+    double k = 0;
+};
+
+/// Independent voltage source (current unknown added), positive node a.
+struct VSource {
+    std::string name;
+    NodeId a = 0, b = 0;
+    Source src;
+};
+
+/// Independent current source; positive current flows from a through the
+/// source to b (SPICE convention).
+struct ISource {
+    std::string name;
+    NodeId a = 0, b = 0;
+    Source src;
+};
+
+/// Nonlinear two-terminal element defined by an i(v) table: the current
+/// flowing a -> b is iv(V_a - V_b), piecewise linear, clamped outside the
+/// table range. Solved by Newton iteration in the DC and transient engines
+/// and linearized at the operating point for AC. Covers IBIS-style driver
+/// output curves, diode clamps and nonlinear terminations.
+struct TableConductance {
+    std::string name;
+    NodeId a = 0, b = 0;
+    PiecewiseLinear iv;
+};
+
+/// Behavioral push-pull driver instance (see driver.hpp).
+struct DriverInstance {
+    std::string name;
+    NodeId out = 0, vcc = 0, gnd = 0;
+    DriverParams params;
+};
+
+/// Frequency-tabulated N-port (Touchstone data) usable in AC analysis only:
+/// S(f) is interpolated between samples, converted to Y and stamped between
+/// the port nodes and the common reference. DC treats the block as open;
+/// the transient engine rejects netlists containing one (fit the data with
+/// vector_fit + stamp_foster_impedance for time domain).
+struct SParamBlock {
+    std::string name;
+    std::vector<NodeId> nodes; ///< one positive node per port
+    NodeId ref = 0;            ///< common reference node
+    std::shared_ptr<const TouchstoneData> data;
+};
+
+/// Multiconductor transmission-line instance. Terminal voltages are measured
+/// against the respective reference nodes.
+struct TlineInstance {
+    std::string name;
+    std::vector<NodeId> near;  ///< near-end conductor nodes
+    std::vector<NodeId> far;   ///< far-end conductor nodes
+    NodeId near_ref = 0;
+    NodeId far_ref = 0;
+    std::shared_ptr<const ModalTline> model;
+};
+
+/// Flat netlist with named nodes.
+class Netlist {
+public:
+    Netlist();
+
+    /// The ground node (always id 0, name "0").
+    NodeId ground() const { return 0; }
+
+    /// Create a fresh node; auto-named "_nK" if name is empty. Throws if the
+    /// name is already taken.
+    NodeId add_node(const std::string& name = "");
+
+    /// Get-or-create a node by name ("0" is ground).
+    NodeId node(const std::string& name);
+
+    /// Look up an existing node; throws if absent.
+    NodeId find_node(const std::string& name) const;
+
+    /// Name of a node id.
+    const std::string& node_name(NodeId n) const;
+
+    /// Number of nodes including ground.
+    std::size_t node_count() const { return names_.size(); }
+
+    // --- element adders (names must be unique per element kind) -----------
+    void add_resistor(const std::string& name, NodeId a, NodeId b, double r);
+    void add_capacitor(const std::string& name, NodeId a, NodeId b, double c);
+    /// Returns the inductor index for use in add_mutual. series_r is an
+    /// optional resistance in series with the inductance.
+    std::size_t add_inductor(const std::string& name, NodeId a, NodeId b, double l,
+                             double series_r = 0.0);
+    void add_mutual(const std::string& name, const std::string& l1,
+                    const std::string& l2, double k);
+    void add_vsource(const std::string& name, NodeId a, NodeId b, Source src);
+    void add_isource(const std::string& name, NodeId a, NodeId b, Source src);
+    void add_driver(const std::string& name, NodeId out, NodeId vcc, NodeId gnd,
+                    DriverParams params);
+    /// v/i samples must be sorted in v and should bracket the expected
+    /// operating range (the table clamps outside it).
+    void add_table_conductance(const std::string& name, NodeId a, NodeId b,
+                               VectorD v, VectorD i);
+    void add_tline(const std::string& name, std::vector<NodeId> near,
+                   std::vector<NodeId> far, std::shared_ptr<const ModalTline> model,
+                   NodeId near_ref = 0, NodeId far_ref = 0);
+    void add_sparam_block(const std::string& name, std::vector<NodeId> nodes,
+                          std::shared_ptr<const TouchstoneData> data,
+                          NodeId ref = 0);
+
+    // --- element access ----------------------------------------------------
+    const std::vector<Resistor>& resistors() const { return resistors_; }
+    const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+    const std::vector<Inductor>& inductors() const { return inductors_; }
+    const std::vector<MutualCoupling>& mutuals() const { return mutuals_; }
+    const std::vector<VSource>& vsources() const { return vsources_; }
+    const std::vector<ISource>& isources() const { return isources_; }
+    const std::vector<DriverInstance>& drivers() const { return drivers_; }
+    const std::vector<TableConductance>& table_conductances() const {
+        return tables_;
+    }
+    const std::vector<TlineInstance>& tlines() const { return tlines_; }
+    const std::vector<SParamBlock>& sparam_blocks() const { return sblocks_; }
+
+    /// Mutable source access (benches re-run with varied stimuli).
+    std::vector<VSource>& vsources() { return vsources_; }
+    std::vector<ISource>& isources() { return isources_; }
+    std::vector<DriverInstance>& drivers() { return drivers_; }
+
+    /// Index of an inductor by name; throws if absent.
+    std::size_t inductor_index(const std::string& name) const;
+
+    /// True if any element value changes with time during a transient
+    /// (drivers are the only such element).
+    bool time_varying() const { return !drivers_.empty(); }
+
+    /// True if the netlist needs Newton iteration (has nonlinear elements).
+    bool nonlinear() const { return !tables_.empty(); }
+
+private:
+    std::vector<std::string> names_;
+    std::map<std::string, NodeId> by_name_;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<Inductor> inductors_;
+    std::vector<MutualCoupling> mutuals_;
+    std::vector<VSource> vsources_;
+    std::vector<ISource> isources_;
+    std::vector<DriverInstance> drivers_;
+    std::vector<TableConductance> tables_;
+    std::vector<TlineInstance> tlines_;
+    std::vector<SParamBlock> sblocks_;
+
+    void check_node(NodeId n, const char* ctx) const;
+};
+
+} // namespace pgsi

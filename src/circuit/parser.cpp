@@ -1,0 +1,342 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::string cleaned = line;
+    for (char& c : cleaned)
+        if (c == '(' || c == ')' || c == ',' || c == '=') c = ' ';
+    std::istringstream is(cleaned);
+    std::vector<std::string> toks;
+    std::string t;
+    while (is >> t) toks.push_back(t);
+    return toks;
+}
+
+[[noreturn]] void fail(int lineno, const std::string& msg) {
+    throw InvalidArgument("spice parse error at line " + std::to_string(lineno) +
+                          ": " + msg);
+}
+
+// Parse source tokens starting at toks[i]; returns the Source.
+Source parse_source(const std::vector<std::string>& toks, std::size_t i,
+                    int lineno) {
+    double dc = 0;
+    double ac_mag = 0, ac_phase = 0;
+    bool have_wave = false;
+    Source wave = Source::dc(0.0);
+
+    while (i < toks.size()) {
+        const std::string kw = lower(toks[i]);
+        if (kw == "dc") {
+            if (i + 1 >= toks.size()) fail(lineno, "DC needs a value");
+            dc = parse_spice_value(toks[i + 1]);
+            i += 2;
+        } else if (kw == "ac") {
+            if (i + 1 >= toks.size()) fail(lineno, "AC needs a magnitude");
+            ac_mag = parse_spice_value(toks[i + 1]);
+            i += 2;
+            if (i < toks.size() && (std::isdigit(static_cast<unsigned char>(
+                                        toks[i][0])) ||
+                                    toks[i][0] == '-' || toks[i][0] == '.')) {
+                ac_phase = parse_spice_value(toks[i]);
+                ++i;
+            }
+        } else if (kw == "pulse") {
+            if (i + 7 >= toks.size()) fail(lineno, "PULSE needs 7 values");
+            const double v1 = parse_spice_value(toks[i + 1]);
+            const double v2 = parse_spice_value(toks[i + 2]);
+            const double td = parse_spice_value(toks[i + 3]);
+            const double tr = parse_spice_value(toks[i + 4]);
+            const double tf = parse_spice_value(toks[i + 5]);
+            const double pw = parse_spice_value(toks[i + 6]);
+            const double per = parse_spice_value(toks[i + 7]);
+            wave = Source::pulse(v1, v2, td, tr, tf, pw, per);
+            have_wave = true;
+            i += 8;
+        } else if (kw == "sin") {
+            if (i + 3 >= toks.size()) fail(lineno, "SIN needs at least 3 values");
+            const double off = parse_spice_value(toks[i + 1]);
+            const double amp = parse_spice_value(toks[i + 2]);
+            const double freq = parse_spice_value(toks[i + 3]);
+            double td = 0, damp = 0;
+            i += 4;
+            if (i < toks.size() && lower(toks[i]) != "ac") {
+                td = parse_spice_value(toks[i]);
+                ++i;
+                if (i < toks.size() && lower(toks[i]) != "ac") {
+                    damp = parse_spice_value(toks[i]);
+                    ++i;
+                }
+            }
+            wave = Source::sine(off, amp, freq, td, damp);
+            have_wave = true;
+        } else if (kw == "pwl") {
+            VectorD ts, vs;
+            ++i;
+            while (i < toks.size()) {
+                const char c0 = toks[i][0];
+                if (!(std::isdigit(static_cast<unsigned char>(c0)) || c0 == '-' ||
+                      c0 == '.' || c0 == '+'))
+                    break;
+                if (i + 1 >= toks.size()) fail(lineno, "PWL needs value pairs");
+                ts.push_back(parse_spice_value(toks[i]));
+                vs.push_back(parse_spice_value(toks[i + 1]));
+                i += 2;
+            }
+            if (ts.empty()) fail(lineno, "PWL needs at least one pair");
+            wave = Source::pwl(std::move(ts), std::move(vs));
+            have_wave = true;
+        } else {
+            // Bare number = DC value.
+            dc = parse_spice_value(toks[i]);
+            ++i;
+        }
+    }
+    Source s = have_wave ? wave : Source::dc(dc);
+    if (ac_mag != 0) s.set_ac(ac_mag, ac_phase);
+    return s;
+}
+
+// A logical (continuation-joined) card.
+struct Card {
+    int lineno = 0;
+    std::vector<std::string> toks;
+};
+
+// A .subckt definition.
+struct SubcktDef {
+    std::vector<std::string> pins;
+    std::vector<Card> cards;
+};
+
+using SubcktMap = std::map<std::string, SubcktDef>;
+
+// Expand cards into the netlist. `resolve` maps a card-local node name to a
+// netlist node; `prefix` namespaces element names.
+void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
+                  Netlist& nl,
+                  const std::function<NodeId(const std::string&)>& resolve,
+                  const std::string& prefix, ParsedAnalyses* analyses,
+                  int depth);
+
+// Instantiate one subcircuit: pins map to the caller's nodes, internal nodes
+// get fresh namespaced nodes.
+void instantiate_subckt(const Card& card, const SubcktMap& subckts, Netlist& nl,
+                        const std::function<NodeId(const std::string&)>& resolve,
+                        const std::string& prefix, int depth) {
+    if (card.toks.size() < 3)
+        fail(card.lineno, "X needs: name nodes... subcktname");
+    const std::string& def_name = lower(card.toks.back());
+    const auto it = subckts.find(def_name);
+    if (it == subckts.end())
+        fail(card.lineno, "unknown subcircuit '" + card.toks.back() + "'");
+    const SubcktDef& def = it->second;
+    const std::size_t npins = card.toks.size() - 2;
+    if (npins != def.pins.size())
+        fail(card.lineno, "subcircuit '" + def_name + "' expects " +
+                              std::to_string(def.pins.size()) + " pins, got " +
+                              std::to_string(npins));
+
+    std::map<std::string, NodeId> pin_map;
+    for (std::size_t p = 0; p < npins; ++p)
+        pin_map[lower(def.pins[p])] = resolve(card.toks[1 + p]);
+
+    const std::string inner_prefix = prefix + card.toks[0] + ".";
+    std::map<std::string, NodeId> local;
+    auto inner_resolve = [&](const std::string& name) -> NodeId {
+        if (name == "0") return nl.ground();
+        const std::string key = lower(name);
+        const auto pin = pin_map.find(key);
+        if (pin != pin_map.end()) return pin->second;
+        const auto loc = local.find(key);
+        if (loc != local.end()) return loc->second;
+        const NodeId fresh = nl.node(inner_prefix + key);
+        local[key] = fresh;
+        return fresh;
+    };
+    expand_cards(def.cards, subckts, nl, inner_resolve, inner_prefix, nullptr,
+                 depth + 1);
+}
+
+void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
+                  Netlist& nl,
+                  const std::function<NodeId(const std::string&)>& resolve,
+                  const std::string& prefix, ParsedAnalyses* analyses,
+                  int depth) {
+    if (depth > 16)
+        throw InvalidArgument("spice parse error: subcircuit nesting too deep "
+                              "(recursive definition?)");
+    for (const Card& card : cards) {
+        const std::vector<std::string>& toks = card.toks;
+        const int lineno = card.lineno;
+        const std::string head = lower(toks[0]);
+
+        if (head[0] == '.') {
+            if (head == ".end") break;
+            if (analyses == nullptr) continue; // dot-cards ignored in subckts
+            if (head == ".tran") {
+                if (toks.size() < 3) fail(lineno, ".tran needs tstep tstop");
+                analyses->has_tran = true;
+                analyses->tran_step = parse_spice_value(toks[1]);
+                analyses->tran_stop = parse_spice_value(toks[2]);
+            } else if (head == ".ac") {
+                if (toks.size() < 5 || lower(toks[1]) != "dec")
+                    fail(lineno, ".ac supports: .ac dec npts fstart fstop");
+                analyses->has_ac = true;
+                analyses->ac_points_per_decade =
+                    static_cast<int>(parse_spice_value(toks[2]));
+                analyses->ac_fstart = parse_spice_value(toks[3]);
+                analyses->ac_fstop = parse_spice_value(toks[4]);
+            }
+            // Other dot-cards are ignored (as SPICE tools commonly do).
+            continue;
+        }
+
+        switch (head[0]) {
+            case 'r':
+                if (toks.size() < 4) fail(lineno, "R needs: name n1 n2 value");
+                nl.add_resistor(prefix + toks[0], resolve(toks[1]),
+                                resolve(toks[2]), parse_spice_value(toks[3]));
+                break;
+            case 'c':
+                if (toks.size() < 4) fail(lineno, "C needs: name n1 n2 value");
+                nl.add_capacitor(prefix + toks[0], resolve(toks[1]),
+                                 resolve(toks[2]), parse_spice_value(toks[3]));
+                break;
+            case 'l':
+                if (toks.size() < 4) fail(lineno, "L needs: name n1 n2 value");
+                nl.add_inductor(prefix + toks[0], resolve(toks[1]),
+                                resolve(toks[2]), parse_spice_value(toks[3]));
+                break;
+            case 'k':
+                if (toks.size() < 4) fail(lineno, "K needs: name L1 L2 k");
+                nl.add_mutual(prefix + toks[0], prefix + toks[1],
+                              prefix + toks[2], parse_spice_value(toks[3]));
+                break;
+            case 'v':
+                if (toks.size() < 3) fail(lineno, "V needs: name n+ n- ...");
+                nl.add_vsource(prefix + toks[0], resolve(toks[1]),
+                               resolve(toks[2]), parse_source(toks, 3, lineno));
+                break;
+            case 'i':
+                if (toks.size() < 3) fail(lineno, "I needs: name n+ n- ...");
+                nl.add_isource(prefix + toks[0], resolve(toks[1]),
+                               resolve(toks[2]), parse_source(toks, 3, lineno));
+                break;
+            case 'x':
+                instantiate_subckt(card, subckts, nl, resolve, prefix, depth);
+                break;
+            default:
+                fail(lineno, "unsupported element '" + toks[0] + "'");
+        }
+    }
+}
+
+} // namespace
+
+double parse_spice_value(const std::string& token) {
+    PGSI_REQUIRE(!token.empty(), "empty numeric token");
+    std::size_t pos = 0;
+    double v;
+    try {
+        v = std::stod(token, &pos);
+    } catch (const std::exception&) {
+        throw InvalidArgument("bad numeric token '" + token + "'");
+    }
+    std::string suffix = lower(token.substr(pos));
+    if (suffix.empty()) return v;
+    if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+    switch (suffix[0]) {
+        case 't': return v * 1e12;
+        case 'g': return v * 1e9;
+        case 'k': return v * 1e3;
+        case 'm': return v * 1e-3;
+        case 'u': return v * 1e-6;
+        case 'n': return v * 1e-9;
+        case 'p': return v * 1e-12;
+        case 'f': return v * 1e-15;
+        default:
+            // Trailing unit letters like "V", "Hz", "ohm".
+            return v;
+    }
+}
+
+ParsedDeck parse_spice(const std::string& text) {
+    ParsedDeck deck;
+    std::istringstream is(text);
+    std::string raw;
+    std::vector<Card> cards;
+    bool first = true;
+    int lineno = 0;
+    while (std::getline(is, raw)) {
+        ++lineno;
+        if (first) {
+            deck.title = raw;
+            first = false;
+            continue;
+        }
+        if (raw.empty() || raw[0] == '*') continue;
+        if (raw[0] == '+' && !cards.empty()) {
+            const std::vector<std::string> extra = tokenize(raw.substr(1));
+            cards.back().toks.insert(cards.back().toks.end(), extra.begin(),
+                                     extra.end());
+        } else {
+            const std::vector<std::string> toks = tokenize(raw);
+            if (!toks.empty()) cards.push_back({lineno, toks});
+        }
+    }
+
+    // First pass: peel out .subckt ... .ends bodies.
+    SubcktMap subckts;
+    std::vector<Card> main_cards;
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+        const std::string head = lower(cards[i].toks[0]);
+        if (head == ".subckt") {
+            if (cards[i].toks.size() < 3)
+                fail(cards[i].lineno, ".subckt needs: name pins...");
+            SubcktDef def;
+            const std::string name = lower(cards[i].toks[1]);
+            def.pins.assign(cards[i].toks.begin() + 2, cards[i].toks.end());
+            ++i;
+            int depth = 1;
+            for (; i < cards.size(); ++i) {
+                const std::string h = lower(cards[i].toks[0]);
+                if (h == ".subckt") ++depth; // nested definitions unsupported
+                if (h == ".ends") {
+                    --depth;
+                    if (depth == 0) break;
+                }
+                if (depth == 1) def.cards.push_back(cards[i]);
+            }
+            if (depth != 0)
+                fail(cards.back().lineno, "unterminated .subckt '" + name + "'");
+            subckts[name] = std::move(def);
+        } else {
+            main_cards.push_back(cards[i]);
+        }
+    }
+
+    Netlist& nl = deck.netlist;
+    auto resolve = [&nl](const std::string& name) { return nl.node(name); };
+    expand_cards(main_cards, subckts, nl, resolve, "", &deck.analyses, 0);
+    return deck;
+}
+
+} // namespace pgsi

@@ -1,0 +1,49 @@
+// SPICE-subset netlist parser (§5.1: "general purpose circuit simulators
+// such as SPICE can also be used" — this lets decks move both ways).
+//
+// Supported card types:
+//   * Rname n1 n2 value
+//   * Cname n1 n2 value
+//   * Lname n1 n2 value
+//   * Kname Lname1 Lname2 k
+//   * Vname n+ n- [DC v] [AC mag [phase]] [PULSE(v1 v2 td tr tf pw per)]
+//                 [SIN(off ampl freq [td [damp]])] [PWL(t1 v1 t2 v2 ...)]
+//   * Iname n+ n- (same source syntax)
+//   * .tran tstep tstop
+//   * .ac dec npts fstart fstop
+//   * .end, '*' comments, '+' continuation lines
+// The first line is the title. Standard value suffixes (f p n u m k meg g t)
+// and trailing unit letters are accepted.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace pgsi {
+
+/// Analyses requested by a parsed deck.
+struct ParsedAnalyses {
+    bool has_tran = false;
+    double tran_step = 0, tran_stop = 0;
+    bool has_ac = false;
+    int ac_points_per_decade = 0;
+    double ac_fstart = 0, ac_fstop = 0;
+};
+
+/// Result of parsing a deck.
+struct ParsedDeck {
+    std::string title;
+    Netlist netlist;
+    ParsedAnalyses analyses;
+};
+
+/// Parse a SPICE-subset deck from text. Throws InvalidArgument with a line
+/// reference on malformed input.
+ParsedDeck parse_spice(const std::string& text);
+
+/// Parse one numeric token with SPICE magnitude suffixes ("2.2k", "10pF",
+/// "3meg"). Throws InvalidArgument on garbage.
+double parse_spice_value(const std::string& token);
+
+} // namespace pgsi

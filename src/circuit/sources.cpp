@@ -1,0 +1,111 @@
+#include "circuit/sources.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+Source Source::dc(double value) {
+    Source s;
+    s.kind_ = Kind::Dc;
+    s.v1_ = value;
+    return s;
+}
+
+Source Source::pulse(double v1, double v2, double delay, double rise,
+                     double fall, double width, double period) {
+    PGSI_REQUIRE(rise > 0 && fall > 0, "pulse: rise/fall must be positive");
+    PGSI_REQUIRE(width >= 0, "pulse: width must be non-negative");
+    Source s;
+    s.kind_ = Kind::Pulse;
+    s.v1_ = v1;
+    s.v2_ = v2;
+    s.delay_ = delay;
+    s.rise_ = rise;
+    s.fall_ = fall;
+    s.width_ = width;
+    s.period_ = period;
+    return s;
+}
+
+Source Source::sine(double offset, double amplitude, double freq_hz,
+                    double delay, double damping) {
+    PGSI_REQUIRE(freq_hz > 0, "sine: frequency must be positive");
+    Source s;
+    s.kind_ = Kind::Sin;
+    s.v1_ = offset;
+    s.v2_ = amplitude;
+    s.freq_ = freq_hz;
+    s.delay_ = delay;
+    s.damping_ = damping;
+    return s;
+}
+
+Source Source::pwl(VectorD times, VectorD values) {
+    Source s;
+    s.kind_ = Kind::Pwl;
+    s.pwl_ = PiecewiseLinear(std::move(times), std::move(values));
+    return s;
+}
+
+double Source::value(double t) const {
+    switch (kind_) {
+        case Kind::Dc:
+            return v1_;
+        case Kind::Pulse: {
+            double tl = t - delay_;
+            if (tl < 0) return v1_;
+            if (period_ > 0) tl = std::fmod(tl, period_);
+            if (tl < rise_) return v1_ + (v2_ - v1_) * tl / rise_;
+            if (tl < rise_ + width_) return v2_;
+            if (tl < rise_ + width_ + fall_)
+                return v2_ + (v1_ - v2_) * (tl - rise_ - width_) / fall_;
+            return v1_;
+        }
+        case Kind::Sin: {
+            if (t < delay_) return v1_;
+            const double tl = t - delay_;
+            const double damp = damping_ > 0 ? std::exp(-damping_ * tl) : 1.0;
+            return v1_ + v2_ * damp * std::sin(2.0 * pi * freq_ * tl);
+        }
+        case Kind::Pwl:
+            return pwl_(t);
+    }
+    return 0.0;
+}
+
+Source::PulseParams Source::pulse_params() const {
+    PGSI_REQUIRE(kind_ == Kind::Pulse, "Source: not a pulse waveform");
+    return {v1_, v2_, delay_, rise_, fall_, width_, period_};
+}
+
+Source& Source::set_ac(double magnitude, double phase_deg) {
+    ac_mag_ = magnitude;
+    ac_phase_deg_ = phase_deg;
+    return *this;
+}
+
+Complex Source::ac_phasor() const {
+    const double ph = ac_phase_deg_ * pi / 180.0;
+    return Complex(ac_mag_ * std::cos(ph), ac_mag_ * std::sin(ph));
+}
+
+double Source::settle_time() const {
+    switch (kind_) {
+        case Kind::Dc:
+            return 0.0;
+        case Kind::Pulse:
+            if (period_ > 0) return std::numeric_limits<double>::infinity();
+            return delay_ + rise_ + width_ + fall_;
+        case Kind::Sin:
+            return std::numeric_limits<double>::infinity();
+        case Kind::Pwl:
+            return pwl_.empty() ? 0.0 : pwl_.abscissae().back();
+    }
+    return 0.0;
+}
+
+} // namespace pgsi

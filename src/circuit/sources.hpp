@@ -1,0 +1,67 @@
+// Independent source waveforms (§5.1): DC, PULSE, SIN and PWL stimuli with
+// SPICE-compatible semantics, plus an AC small-signal magnitude/phase used by
+// the frequency-domain analysis.
+#pragma once
+
+#include <memory>
+
+#include "numeric/interp.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Time-domain + AC description of an independent source value.
+class Source {
+public:
+    /// Constant value.
+    static Source dc(double value);
+
+    /// SPICE PULSE(v1 v2 delay rise fall width period). period <= 0 means a
+    /// single pulse.
+    static Source pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period = 0.0);
+
+    /// SPICE SIN(offset amplitude freq [delay [damping]]).
+    static Source sine(double offset, double amplitude, double freq_hz,
+                       double delay = 0.0, double damping = 0.0);
+
+    /// Piecewise-linear waveform.
+    static Source pwl(VectorD times, VectorD values);
+
+    /// Instantaneous value at time t [s].
+    double value(double t) const;
+
+    /// Value at t = 0 (used by the DC operating point).
+    double dc_value() const { return value(0.0); }
+
+    /// Set the AC small-signal excitation (magnitude, phase in degrees).
+    Source& set_ac(double magnitude, double phase_deg = 0.0);
+
+    /// AC phasor (0 if the source is not an AC stimulus).
+    Complex ac_phasor() const;
+
+    /// Earliest time by which the waveform has settled for good (used to pick
+    /// simulation windows); returns +inf for periodic sources.
+    double settle_time() const;
+
+    /// Waveform kind, for serialization/introspection.
+    enum class Kind { Dc, Pulse, Sin, Pwl };
+    Kind kind() const { return kind_; }
+
+    /// Pulse parameters (valid when kind() == Kind::Pulse).
+    struct PulseParams {
+        double v1 = 0, v2 = 0, delay = 0, rise = 0, fall = 0, width = 0,
+               period = 0;
+    };
+    PulseParams pulse_params() const;
+
+private:
+    Kind kind_ = Kind::Dc;
+    double v1_ = 0, v2_ = 0, delay_ = 0, rise_ = 0, fall_ = 0, width_ = 0,
+           period_ = 0;
+    double freq_ = 0, damping_ = 0;
+    PiecewiseLinear pwl_;
+    double ac_mag_ = 0, ac_phase_deg_ = 0;
+};
+
+} // namespace pgsi

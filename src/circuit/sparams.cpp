@@ -1,0 +1,85 @@
+#include "circuit/sparams.hpp"
+
+#include "common/error.hpp"
+#include "numeric/lu.hpp"
+
+namespace pgsi {
+
+MatrixC z_to_s(const MatrixC& z, double z0) {
+    PGSI_REQUIRE(z.square(), "z_to_s: Z must be square");
+    PGSI_REQUIRE(z0 > 0, "z_to_s: z0 must be positive");
+    const std::size_t n = z.rows();
+    MatrixC a(n, n), b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const Complex zn = z(i, j) / z0;
+            a(i, j) = zn - (i == j ? Complex(1, 0) : Complex(0, 0));
+            b(i, j) = zn + (i == j ? Complex(1, 0) : Complex(0, 0));
+        }
+    // S = A B^{-1}  ==>  S B = A  ==>  B^T S^T = A^T.
+    const MatrixC st = Lu<Complex>(b.transposed()).solve(a.transposed());
+    return st.transposed();
+}
+
+MatrixC y_to_s(const MatrixC& y, double z0) {
+    PGSI_REQUIRE(y.square(), "y_to_s: Y must be square");
+    const std::size_t n = y.rows();
+    MatrixC a(n, n), b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const Complex yn = y(i, j) * z0;
+            a(i, j) = (i == j ? Complex(1, 0) : Complex(0, 0)) - yn;
+            b(i, j) = (i == j ? Complex(1, 0) : Complex(0, 0)) + yn;
+        }
+    const MatrixC st = Lu<Complex>(b.transposed()).solve(a.transposed());
+    return st.transposed();
+}
+
+SParamExtractor::SParamExtractor(const Netlist& nl, std::vector<Port> ports)
+    : ports_(std::move(ports)) {
+    PGSI_REQUIRE(!ports_.empty(), "SParamExtractor: no ports");
+    const double z0 = ports_.front().z0;
+    for (const Port& p : ports_)
+        PGSI_REQUIRE(p.z0 == z0,
+                     "SParamExtractor: all ports must share one reference "
+                     "impedance in this implementation");
+
+    for (std::size_t k = 0; k < ports_.size(); ++k) {
+        Netlist aug = nl; // value copy: Netlist is a plain data container
+        for (std::size_t j = 0; j < ports_.size(); ++j) {
+            const Port& p = ports_[j];
+            const std::string tag = "_sport" + std::to_string(j);
+            if (j == k) {
+                // Source of 1 V AC behind z0.
+                const NodeId mid = aug.add_node(tag + "_mid");
+                aug.add_resistor(tag + "_r", p.pos, mid, p.z0);
+                aug.add_vsource(tag + "_v", mid, p.ref, Source::dc(0.0).set_ac(1.0));
+            } else {
+                aug.add_resistor(tag + "_r", p.pos, p.ref, p.z0);
+            }
+        }
+        excited_.push_back(std::move(aug));
+    }
+}
+
+MatrixC SParamExtractor::at(double freq_hz) const {
+    const std::size_t n = ports_.size();
+    MatrixC s(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const AcSolution sol = ac_analyze(excited_[k], freq_hz);
+        for (std::size_t j = 0; j < n; ++j) {
+            const Complex vj = sol.v(ports_[j].pos) - sol.v(ports_[j].ref);
+            s(j, k) = 2.0 * vj - (j == k ? Complex(1, 0) : Complex(0, 0));
+        }
+    }
+    return s;
+}
+
+std::vector<MatrixC> SParamExtractor::sweep(const VectorD& freqs_hz) const {
+    std::vector<MatrixC> out;
+    out.reserve(freqs_hz.size());
+    for (double f : freqs_hz) out.push_back(at(f));
+    return out;
+}
+
+} // namespace pgsi

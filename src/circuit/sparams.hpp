@@ -1,0 +1,51 @@
+// S-parameter computation (§6.1: frequency-domain verification "in terms of
+// S-parameters").
+//
+// Two paths are provided: direct algebraic conversion of an impedance /
+// admittance matrix (used with the field solver's port matrices), and a
+// circuit-level extraction that terminates every port of a netlist in its
+// reference impedance and excites one port at a time.
+#pragma once
+
+#include "circuit/ac.hpp"
+#include "circuit/netlist.hpp"
+
+namespace pgsi {
+
+/// Convert an N-port impedance matrix to S-parameters (common real reference
+/// impedance z0): S = (Z/z0 − I)(Z/z0 + I)⁻¹.
+MatrixC z_to_s(const MatrixC& z, double z0);
+
+/// Convert an N-port admittance matrix to S-parameters: S = (I − z0·Y)(I + z0·Y)⁻¹.
+MatrixC y_to_s(const MatrixC& y, double z0);
+
+/// A port of a netlist: positive node, reference node, reference impedance.
+struct Port {
+    NodeId pos = 0;
+    NodeId ref = 0;
+    double z0 = 50.0;
+};
+
+/// S-parameters of a netlist at the given ports and frequencies.
+///
+/// The netlist must not already contain terminations at the ports: this
+/// routine adds, for each port, a source impedance z0 in series with a test
+/// source, excites each port in turn and measures S_jk = 2·V_j/V_s − δ_jk
+/// (equal reference impedances assumed across ports).
+class SParamExtractor {
+public:
+    SParamExtractor(const Netlist& nl, std::vector<Port> ports);
+
+    /// S matrix at one frequency.
+    MatrixC at(double freq_hz) const;
+
+    /// Sweep over a frequency grid; result[i] corresponds to freqs[i].
+    std::vector<MatrixC> sweep(const VectorD& freqs_hz) const;
+
+private:
+    // One augmented netlist per excited port (terminations + unit source).
+    std::vector<Netlist> excited_;
+    std::vector<Port> ports_;
+};
+
+} // namespace pgsi

@@ -1,0 +1,151 @@
+#include "circuit/tline.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+ModalTline::ModalTline(MtlParameters params, double length_m)
+    : params_(std::move(params)),
+      length_(length_m),
+      n_(params_.l.rows()),
+      tv_(),
+      ti_(),
+      zm_(),
+      tau_(),
+      yc_(),
+      tv_lu_(MatrixD::identity(1)),
+      ti_lu_(MatrixD::identity(1)) {
+    PGSI_REQUIRE(length_ > 0, "ModalTline: length must be positive");
+    PGSI_REQUIRE(params_.l.square() && params_.c.square() &&
+                     params_.l.rows() == params_.c.rows(),
+                 "ModalTline: L and C must be square and equally sized");
+
+    const ProductEigen pe = eigen_spd_product(params_.l, params_.c);
+    tv_ = pe.t;
+    ti_ = params_.c * tv_;
+    zm_.resize(n_);
+    tau_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        zm_[k] = std::sqrt(pe.values[k]);
+        tau_[k] = length_ * std::sqrt(pe.values[k]);
+    }
+    tv_lu_ = Lu<double>(tv_);
+    ti_lu_ = Lu<double>(ti_);
+
+    // Yc = Ti diag(1/zm) Tv^{-1}
+    MatrixD d(n_, n_);
+    for (std::size_t k = 0; k < n_; ++k) d(k, k) = 1.0 / zm_[k];
+    yc_ = ti_ * d * tv_lu_.inverse();
+    // Symmetrize (analytically symmetric; guards against roundoff in stamps).
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            const double v = 0.5 * (yc_(i, j) + yc_(j, i));
+            yc_(i, j) = v;
+            yc_(j, i) = v;
+        }
+}
+
+VectorD ModalTline::to_modal_v(const VectorD& v) const { return tv_lu_.solve(v); }
+
+VectorD ModalTline::to_modal_i(const VectorD& i) const { return ti_lu_.solve(i); }
+
+VectorD ModalTline::norton_from_modal_emf(const VectorD& em) const {
+    VectorD scaled(n_);
+    for (std::size_t k = 0; k < n_; ++k) scaled[k] = em[k] / zm_[k];
+    return ti_ * scaled;
+}
+
+MatrixC ModalTline::ac_admittance(double omega) const {
+    // Per mode, the lossless-line 2-port admittance is
+    //   [ I1 ]   1/zm [  -j·cotθ    j·cscθ ] [ V1 ]
+    //   [ I2 ] =      [   j·cscθ   -j·cotθ ] [ V2 ]   with θ = ω τ.
+    // (currents into the line). Assembled back through Ti ... Tv⁻¹.
+    const MatrixD tvinv = tv_lu_.inverse();
+    MatrixC y(2 * n_, 2 * n_);
+    MatrixC d11(n_, n_), d12(n_, n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        const double theta = omega * tau_[k];
+        const double s = std::sin(theta);
+        PGSI_REQUIRE(std::abs(s) > 1e-12,
+                     "ModalTline::ac_admittance: sampled exactly on a line "
+                     "resonance; perturb the frequency");
+        const double cot = std::cos(theta) / s;
+        const double csc = 1.0 / s;
+        d11(k, k) = Complex(0.0, -cot / zm_[k]);
+        d12(k, k) = Complex(0.0, csc / zm_[k]);
+    }
+    const MatrixC tic = to_complex(ti_);
+    const MatrixC tvc = to_complex(tvinv);
+    const MatrixC y11 = tic * d11 * tvc;
+    const MatrixC y12 = tic * d12 * tvc;
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = 0; j < n_; ++j) {
+            y(i, j) = y11(i, j);
+            y(i, n_ + j) = y12(i, j);
+            y(n_ + i, j) = y12(i, j);
+            y(n_ + i, n_ + j) = y11(i, j);
+        }
+    return y;
+}
+
+TlineState::TlineState(const ModalTline& model, double dt)
+    : model_(model), dt_(dt) {
+    const VectorD& tau = model_.delays();
+    for (std::size_t k = 0; k < tau.size(); ++k) {
+        PGSI_REQUIRE(tau[k] >= dt,
+                     "TlineState: time step exceeds a modal delay; reduce dt");
+        wave_from_near_.emplace_back(dt, tau[k]);
+        wave_from_far_.emplace_back(dt, tau[k]);
+    }
+}
+
+VectorD TlineState::near_emf() const {
+    // When assembling step t_n+dt, the most recent pushed sample is at t_n;
+    // the wave needed left the far end at (t_n + dt) - τ, i.e. τ - dt before
+    // the latest sample.
+    const std::size_t n = model_.conductor_count();
+    VectorD em(n);
+    for (std::size_t k = 0; k < n; ++k)
+        em[k] = wave_from_far_[k].value_before_last(model_.delays()[k] - dt_);
+    return em;
+}
+
+VectorD TlineState::far_emf() const {
+    const std::size_t n = model_.conductor_count();
+    VectorD em(n);
+    for (std::size_t k = 0; k < n; ++k)
+        em[k] = wave_from_near_[k].value_before_last(model_.delays()[k] - dt_);
+    return em;
+}
+
+void TlineState::push(const VectorD& v_near, const VectorD& i_near,
+                      const VectorD& v_far, const VectorD& i_far) {
+    const VectorD vmn = model_.to_modal_v(v_near);
+    const VectorD imn = model_.to_modal_i(i_near);
+    const VectorD vmf = model_.to_modal_v(v_far);
+    const VectorD imf = model_.to_modal_i(i_far);
+    const VectorD& zm = model_.modal_impedance();
+    for (std::size_t k = 0; k < zm.size(); ++k) {
+        wave_from_near_[k].push(vmn[k] + zm[k] * imn[k]);
+        wave_from_far_[k].push(vmf[k] + zm[k] * imf[k]);
+    }
+}
+
+void TlineState::initialize_dc(const VectorD& v_near, const VectorD& i_near,
+                               const VectorD& v_far, const VectorD& i_far) {
+    const VectorD vmn = model_.to_modal_v(v_near);
+    const VectorD imn = model_.to_modal_i(i_near);
+    const VectorD vmf = model_.to_modal_v(v_far);
+    const VectorD imf = model_.to_modal_i(i_far);
+    const VectorD& zm = model_.modal_impedance();
+    const VectorD& tau = model_.delays();
+    for (std::size_t k = 0; k < zm.size(); ++k) {
+        // Re-create the delay lines filled with the DC wave values.
+        wave_from_near_[k] = DelayLine(dt_, tau[k], vmn[k] + zm[k] * imn[k]);
+        wave_from_far_[k] = DelayLine(dt_, tau[k], vmf[k] + zm[k] * imf[k]);
+    }
+}
+
+} // namespace pgsi

@@ -1,0 +1,113 @@
+// Lossless multiconductor transmission line via modal analysis and the
+// method of characteristics (§5.2: "signal nets are modeled as multiconductor
+// transmission lines ... an accurate and efficient modal analysis is applied
+// to the time-domain simulation of signal propagation which includes
+// crosstalk between multiple lines").
+//
+// Given per-unit-length matrices L and C (from the 2-D extractor or entered
+// directly), the product L·C is diagonalized through the symmetric similarity
+// transform of numeric/eigen.hpp:
+//     L·C·Tv = Tv·Λ,   Ti = C·Tv,
+// which renders the modal inductance Lm = Tv⁻¹·L·Ti = Λ and modal capacitance
+// Cm = Ti⁻¹·C·Tv = 1 simultaneously diagonal. Mode i then propagates with
+// delay τ_i = len·sqrt(λ_i) and modal impedance zm_i = sqrt(λ_i) (in the
+// modal coordinate system; physical port behaviour is recovered through
+// Tv/Ti). Each mode gets a Branin (generalized method-of-characteristics)
+// two-port: a matched source impedance plus a delayed controlled source.
+//
+// The terminal characteristic admittance stamped into the MNA matrix is
+//     Yc = Ti · diag(1/zm) · Tv⁻¹   (symmetric, positive definite),
+// and the per-step Norton history currents are J = Ti · diag(1/zm) · E_modal.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numeric/eigen.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Per-unit-length description of a uniform multiconductor line.
+struct MtlParameters {
+    MatrixD l; ///< inductance matrix [H/m], SPD
+    MatrixD c; ///< capacitance matrix [F/m], SPD (Maxwell form)
+
+    std::size_t conductor_count() const { return l.rows(); }
+};
+
+/// Frequency-independent modal decomposition of a lossless MTL of a given
+/// physical length. Shared between the transient (Branin) and AC (exact
+/// trigonometric) stamps.
+class ModalTline {
+public:
+    ModalTline(MtlParameters params, double length_m);
+
+    std::size_t conductor_count() const { return n_; }
+    double length() const { return length_; }
+    const MtlParameters& parameters() const { return params_; }
+
+    /// Modal one-way delays [s], one per mode.
+    const VectorD& delays() const { return tau_; }
+    /// Modal characteristic impedances (modal coordinates).
+    const VectorD& modal_impedance() const { return zm_; }
+    /// Voltage modal transform Tv (physical = Tv · modal).
+    const MatrixD& tv() const { return tv_; }
+    /// Current modal transform Ti.
+    const MatrixD& ti() const { return ti_; }
+    /// Terminal characteristic admittance matrix Yc (n×n).
+    const MatrixD& characteristic_admittance() const { return yc_; }
+
+    /// Modal voltages from physical terminal voltages: Vm = Tv⁻¹ V.
+    VectorD to_modal_v(const VectorD& v) const;
+    /// Modal currents from physical terminal currents: Im = Ti⁻¹ I.
+    VectorD to_modal_i(const VectorD& i) const;
+    /// Physical Norton currents from modal history EMFs: J = Ti diag(1/zm) Em.
+    VectorD norton_from_modal_emf(const VectorD& em) const;
+
+    /// Exact frequency-domain 2n×2n admittance matrix of the lossless line,
+    /// ordered (near conductors..., far conductors...). Singular exactly at
+    /// the half-wave resonances of a mode; callers sample between them.
+    MatrixC ac_admittance(double omega) const;
+
+private:
+    MtlParameters params_;
+    double length_;
+    std::size_t n_;
+    MatrixD tv_, ti_;
+    VectorD zm_, tau_;
+    MatrixD yc_;
+    Lu<double> tv_lu_;
+    Lu<double> ti_lu_;
+};
+
+/// Transient state of one ModalTline instance: per-mode delay lines storing
+/// the outgoing wave (V + z·I in modal coordinates) at each end.
+class TlineState {
+public:
+    /// dt: simulator step; initial modal EMFs are set from the DC solution.
+    TlineState(const ModalTline& model, double dt);
+
+    /// History EMF vectors for the next step (modal coordinates).
+    VectorD near_emf() const;
+    VectorD far_emf() const;
+
+    /// Record this step's solved terminal quantities (physical coordinates;
+    /// currents are those flowing *into* the line).
+    void push(const VectorD& v_near, const VectorD& i_near, const VectorD& v_far,
+              const VectorD& i_far);
+
+    /// Pre-load the history with a constant (DC) state.
+    void initialize_dc(const VectorD& v_near, const VectorD& i_near,
+                       const VectorD& v_far, const VectorD& i_far);
+
+private:
+    const ModalTline& model_;
+    double dt_;
+    std::vector<DelayLine> wave_from_near_; // per mode: Vm + zm·Im at near end
+    std::vector<DelayLine> wave_from_far_;
+};
+
+} // namespace pgsi

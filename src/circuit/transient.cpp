@@ -1,0 +1,401 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/lu.hpp"
+
+namespace pgsi {
+
+VectorD TransientResult::waveform(NodeId node) const {
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+        if (probes[k] != node) continue;
+        VectorD w(samples.size());
+        for (std::size_t s = 0; s < samples.size(); ++s) w[s] = samples[s][k];
+        return w;
+    }
+    throw InvalidArgument("TransientResult: node was not recorded");
+}
+
+double TransientResult::peak_abs(NodeId node) const {
+    const VectorD w = waveform(node);
+    return max_abs(w);
+}
+
+double TransientResult::peak_excursion(NodeId node) const {
+    const VectorD w = waveform(node);
+    double m = 0;
+    for (double v : w) m = std::max(m, std::abs(v - w.front()));
+    return m;
+}
+
+namespace {
+
+// Internal capacitor bookkeeping (netlist capacitors + driver output caps).
+struct CapState {
+    NodeId a = 0, b = 0;
+    double c = 0;
+    double v_prev = 0; // v(a) - v(b)
+    double i_prev = 0;
+};
+
+} // namespace
+
+struct TransientStepper::Impl {
+    const Netlist& nl;
+    double dt;
+    Integrator method;
+    MnaLayout lay;
+
+    std::vector<CapState> caps;
+    MatrixD lfull; // inductor coupling matrix (self + mutual)
+    std::vector<std::unique_ptr<TlineState>> tstates;
+    VectorD ind_i_prev, ind_v_prev;
+    VectorD driver_gu, driver_gd;
+    VectorD table_v;       // table linearization voltages (per element)
+    VectorD table_g_last;  // conductances stamped in the current factor
+    MatrixD base_trap, base_be;
+    bool have_trap = false, have_be = false;
+    std::unique_ptr<Lu<double>> lu;
+    Integrator lu_method = Integrator::BackwardEuler;
+    bool lu_valid = false;
+
+    std::size_t step_count = 0;
+    VectorD x;           // last MNA solution
+    VectorD node_v_now;  // indexed by NodeId
+
+    Impl(const Netlist& netlist, double dt_in, Integrator method_in)
+        : nl(netlist), dt(dt_in), method(method_in), lay(netlist) {
+        PGSI_REQUIRE(dt > 0, "TransientStepper: dt must be positive");
+        PGSI_REQUIRE(nl.sparam_blocks().empty(),
+                     "TransientStepper: S-parameter blocks are AC-only; fit "
+                     "them with vector_fit + stamp_foster_impedance first");
+        for (const Capacitor& c : nl.capacitors())
+            caps.push_back({c.a, c.b, c.c, 0, 0});
+        for (const DriverInstance& d : nl.drivers())
+            if (d.params.c_out > 0)
+                caps.push_back({d.out, d.gnd, d.params.c_out, 0, 0});
+
+        const std::size_t ni = nl.inductors().size();
+        lfull = MatrixD(ni, ni);
+        for (std::size_t k = 0; k < ni; ++k) lfull(k, k) = nl.inductors()[k].l;
+        for (const MutualCoupling& mu : nl.mutuals()) {
+            const double m = mu.k * std::sqrt(std::abs(nl.inductors()[mu.l1].l) *
+                                              std::abs(nl.inductors()[mu.l2].l));
+            lfull(mu.l1, mu.l2) += m;
+            lfull(mu.l2, mu.l1) += m;
+        }
+        ind_i_prev.assign(ni, 0.0);
+        ind_v_prev.assign(ni, 0.0);
+        driver_gu.assign(nl.drivers().size(), -1.0);
+        driver_gd.assign(nl.drivers().size(), -1.0);
+        table_v.assign(nl.table_conductances().size(), 0.0);
+        table_g_last.assign(nl.table_conductances().size(), -1.0);
+
+        initialize_dc();
+    }
+
+    void initialize_dc() {
+        const DcSolution dc = dc_operating_point(nl);
+        node_v_now = dc.node_voltage;
+        for (std::size_t k = 0; k < nl.table_conductances().size(); ++k) {
+            const TableConductance& tc = nl.table_conductances()[k];
+            table_v[k] = dc.v(tc.a) - dc.v(tc.b);
+        }
+        x.assign(lay.dim(), 0.0);
+        for (NodeId n = 1; n < nl.node_count(); ++n) x[lay.node(n)] = dc.v(n);
+        for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+            x[lay.inductor_current(k)] = dc.inductor_current[k];
+            ind_i_prev[k] = dc.inductor_current[k];
+            ind_v_prev[k] = 0.0;
+        }
+        for (std::size_t k = 0; k < nl.vsources().size(); ++k)
+            x[lay.vsource_current(k)] = dc.vsource_current[k];
+        for (CapState& c : caps) {
+            c.v_prev = dc.v(c.a) - dc.v(c.b);
+            c.i_prev = 0.0;
+        }
+        tstates.clear();
+        for (const TlineInstance& t : nl.tlines()) {
+            auto st = std::make_unique<TlineState>(*t.model, dt);
+            const std::size_t n = t.near.size();
+            VectorD vn(n), vf(n), in(n), inf(n);
+            for (std::size_t c = 0; c < n; ++c) {
+                vn[c] = dc.v(t.near[c]) - dc.v(t.near_ref);
+                vf[c] = dc.v(t.far[c]) - dc.v(t.far_ref);
+                const double i = kTlineDcShort * (dc.v(t.near[c]) - dc.v(t.far[c]));
+                in[c] = i;
+                inf[c] = -i;
+            }
+            st->initialize_dc(vn, in, vf, inf);
+            tstates.push_back(std::move(st));
+        }
+    }
+
+    double companion_scale(Integrator m) const {
+        return m == Integrator::Trapezoidal ? 2.0 / dt : 1.0 / dt;
+    }
+
+    const MatrixD& base_matrix(Integrator m) {
+        MatrixD& base = (m == Integrator::Trapezoidal) ? base_trap : base_be;
+        bool& have = (m == Integrator::Trapezoidal) ? have_trap : have_be;
+        if (have) return base;
+        const double s = companion_scale(m);
+        base = MatrixD(lay.dim(), lay.dim());
+
+        for (const Resistor& r : nl.resistors())
+            stamp_conductance(base, lay, r.a, r.b, 1.0 / r.r);
+        for (const CapState& c : caps)
+            stamp_conductance(base, lay, c.a, c.b, s * c.c);
+
+        for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+            const Inductor& l = nl.inductors()[k];
+            const std::size_t cur = lay.inductor_current(k);
+            stamp_branch_incidence(base, lay, l.a, l.b, cur);
+            base(cur, cur) -= l.r;
+            for (std::size_t j = 0; j < nl.inductors().size(); ++j)
+                if (lfull(k, j) != 0.0)
+                    base(cur, lay.inductor_current(j)) -= s * lfull(k, j);
+        }
+
+        for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+            const VSource& v = nl.vsources()[k];
+            stamp_branch_incidence(base, lay, v.a, v.b, lay.vsource_current(k));
+        }
+
+        for (const TlineInstance& t : nl.tlines()) {
+            const MatrixD& yc = t.model->characteristic_admittance();
+            const std::size_t n = t.near.size();
+            auto stamp_end = [&](const std::vector<NodeId>& nodes, NodeId ref) {
+                const std::size_t rr = lay.node(ref);
+                for (std::size_t j = 0; j < n; ++j)
+                    for (std::size_t k = 0; k < n; ++k) {
+                        const double g = yc(j, k);
+                        const std::size_t rj = lay.node(nodes[j]);
+                        const std::size_t ck = lay.node(nodes[k]);
+                        if (rj != MnaLayout::npos && ck != MnaLayout::npos)
+                            base(rj, ck) += g;
+                        if (rj != MnaLayout::npos && rr != MnaLayout::npos)
+                            base(rj, rr) -= g;
+                        if (rr != MnaLayout::npos && ck != MnaLayout::npos)
+                            base(rr, ck) -= g;
+                        if (rr != MnaLayout::npos) base(rr, rr) += g;
+                    }
+            };
+            stamp_end(t.near, t.near_ref);
+            stamp_end(t.far, t.far_ref);
+        }
+        have = true;
+        return base;
+    }
+
+    void refresh_factor(Integrator m, double t, const VectorD& table_g) {
+        bool drivers_moved = false;
+        for (std::size_t d = 0; d < nl.drivers().size(); ++d) {
+            const double gu = nl.drivers()[d].params.g_up(t);
+            const double gd = nl.drivers()[d].params.g_dn(t);
+            if (std::abs(gu - driver_gu[d]) > 1e-12 * (std::abs(gu) + 1e-12) ||
+                std::abs(gd - driver_gd[d]) > 1e-12 * (std::abs(gd) + 1e-12))
+                drivers_moved = true;
+            driver_gu[d] = gu;
+            driver_gd[d] = gd;
+        }
+        bool tables_moved = false;
+        for (std::size_t k = 0; k < table_g.size(); ++k)
+            if (std::abs(table_g[k] - table_g_last[k]) >
+                1e-12 * (std::abs(table_g[k]) + 1e-12))
+                tables_moved = true;
+        table_g_last = table_g;
+        if (lu_valid && m == lu_method && !drivers_moved && !tables_moved)
+            return;
+        MatrixD mat = base_matrix(m);
+        for (std::size_t d = 0; d < nl.drivers().size(); ++d) {
+            const DriverInstance& dr = nl.drivers()[d];
+            stamp_conductance(mat, lay, dr.out, dr.vcc, driver_gu[d]);
+            stamp_conductance(mat, lay, dr.out, dr.gnd, driver_gd[d]);
+        }
+        for (std::size_t k = 0; k < table_g.size(); ++k) {
+            const TableConductance& tc = nl.table_conductances()[k];
+            stamp_conductance(mat, lay, tc.a, tc.b, table_g[k]);
+        }
+        lu = std::make_unique<Lu<double>>(std::move(mat));
+        lu_method = m;
+        lu_valid = true;
+    }
+
+    double node_v(const VectorD& sol, NodeId n) const {
+        const std::size_t i = lay.node(n);
+        return i == MnaLayout::npos ? 0.0 : sol[i];
+    }
+
+    void advance() {
+        ++step_count;
+        const double t = step_count * dt;
+        const Integrator m = (step_count == 1) ? Integrator::BackwardEuler : method;
+        const double s = companion_scale(m);
+        const bool trap = m == Integrator::Trapezoidal;
+
+        VectorD rhs(lay.dim(), 0.0);
+
+        std::vector<double> cap_ihist(caps.size());
+        for (std::size_t k = 0; k < caps.size(); ++k) {
+            const CapState& c = caps[k];
+            const double ihist =
+                trap ? -(s * c.c * c.v_prev + c.i_prev) : -(s * c.c * c.v_prev);
+            cap_ihist[k] = ihist;
+            stamp_current(rhs, lay, c.a, -ihist);
+            stamp_current(rhs, lay, c.b, +ihist);
+        }
+
+        for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+            double acc = 0;
+            for (std::size_t j = 0; j < nl.inductors().size(); ++j)
+                if (lfull(k, j) != 0.0) acc += lfull(k, j) * ind_i_prev[j];
+            double r = -s * acc;
+            if (trap) r -= ind_v_prev[k];
+            rhs[lay.inductor_current(k)] += r;
+        }
+
+        for (std::size_t k = 0; k < nl.vsources().size(); ++k)
+            rhs[lay.vsource_current(k)] += nl.vsources()[k].src.value(t);
+
+        for (const ISource& i : nl.isources()) {
+            const double v = i.src.value(t);
+            stamp_current(rhs, lay, i.a, -v);
+            stamp_current(rhs, lay, i.b, +v);
+        }
+
+        std::vector<VectorD> jn_near(nl.tlines().size()), jn_far(nl.tlines().size());
+        for (std::size_t ti = 0; ti < nl.tlines().size(); ++ti) {
+            const TlineInstance& tl = nl.tlines()[ti];
+            jn_near[ti] = tl.model->norton_from_modal_emf(tstates[ti]->near_emf());
+            jn_far[ti] = tl.model->norton_from_modal_emf(tstates[ti]->far_emf());
+            for (std::size_t c = 0; c < tl.near.size(); ++c) {
+                stamp_current(rhs, lay, tl.near[c], jn_near[ti][c]);
+                stamp_current(rhs, lay, tl.near_ref, -jn_near[ti][c]);
+                stamp_current(rhs, lay, tl.far[c], jn_far[ti][c]);
+                stamp_current(rhs, lay, tl.far_ref, -jn_far[ti][c]);
+            }
+        }
+
+        // Solve, with Newton iteration over the table elements when present.
+        const std::size_t ntab = nl.table_conductances().size();
+        constexpr int kMaxNewton = 40;
+        for (int iter = 0;; ++iter) {
+            VectorD table_g(ntab);
+            VectorD rhs_nl = rhs;
+            for (std::size_t k = 0; k < ntab; ++k) {
+                const TableConductance& tc = nl.table_conductances()[k];
+                const double v = table_v[k];
+                table_g[k] = tc.iv.slope(v);
+                const double ieq = tc.iv(v) - table_g[k] * v;
+                stamp_current(rhs_nl, lay, tc.a, -ieq);
+                stamp_current(rhs_nl, lay, tc.b, +ieq);
+            }
+            refresh_factor(m, t, table_g);
+            x = lu->solve(rhs_nl);
+            if (ntab == 0) break;
+            double worst = 0;
+            for (std::size_t k = 0; k < ntab; ++k) {
+                const TableConductance& tc = nl.table_conductances()[k];
+                const double v = node_v(x, tc.a) - node_v(x, tc.b);
+                worst = std::max(worst, std::abs(v - table_v[k]));
+                table_v[k] += 0.8 * (v - table_v[k]);
+            }
+            if (worst < 1e-9) break;
+            if (iter >= kMaxNewton)
+                throw NumericalError(
+                    "transient: Newton iteration did not converge at t = " +
+                    std::to_string(t));
+        }
+
+        for (std::size_t k = 0; k < caps.size(); ++k) {
+            CapState& c = caps[k];
+            const double v = node_v(x, c.a) - node_v(x, c.b);
+            c.i_prev = s * c.c * v + cap_ihist[k];
+            c.v_prev = v;
+        }
+        for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+            const Inductor& l = nl.inductors()[k];
+            ind_i_prev[k] = x[lay.inductor_current(k)];
+            // Only the inductive part of the branch voltage enters the
+            // trapezoidal history: v_L = (V_a - V_b) - R·I.
+            ind_v_prev[k] =
+                node_v(x, l.a) - node_v(x, l.b) - l.r * ind_i_prev[k];
+        }
+        for (std::size_t ti = 0; ti < nl.tlines().size(); ++ti) {
+            const TlineInstance& tl = nl.tlines()[ti];
+            const MatrixD& yc = tl.model->characteristic_admittance();
+            const std::size_t n = tl.near.size();
+            VectorD vn(n), vf(n);
+            for (std::size_t c = 0; c < n; ++c) {
+                vn[c] = node_v(x, tl.near[c]) - node_v(x, tl.near_ref);
+                vf[c] = node_v(x, tl.far[c]) - node_v(x, tl.far_ref);
+            }
+            VectorD in = yc * vn;
+            VectorD inf = yc * vf;
+            for (std::size_t c = 0; c < n; ++c) {
+                in[c] -= jn_near[ti][c];
+                inf[c] -= jn_far[ti][c];
+            }
+            tstates[ti]->push(vn, in, vf, inf);
+        }
+
+        for (NodeId n = 1; n < nl.node_count(); ++n) node_v_now[n] = x[lay.node(n)];
+    }
+};
+
+TransientStepper::TransientStepper(const Netlist& nl, double dt, Integrator method)
+    : impl_(std::make_unique<Impl>(nl, dt, method)) {}
+
+TransientStepper::~TransientStepper() = default;
+
+void TransientStepper::step() { impl_->advance(); }
+
+double TransientStepper::time() const { return impl_->step_count * impl_->dt; }
+
+double TransientStepper::node_voltage(NodeId n) const {
+    PGSI_REQUIRE(n < impl_->node_v_now.size(), "node_voltage: id out of range");
+    return impl_->node_v_now[n];
+}
+
+double TransientStepper::vsource_current(std::size_t k) const {
+    PGSI_REQUIRE(k < impl_->nl.vsources().size(), "vsource_current: bad index");
+    return impl_->x[impl_->lay.vsource_current(k)];
+}
+
+double TransientStepper::inductor_current(std::size_t k) const {
+    PGSI_REQUIRE(k < impl_->nl.inductors().size(), "inductor_current: bad index");
+    return impl_->x[impl_->lay.inductor_current(k)];
+}
+
+TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt) {
+    PGSI_REQUIRE(opt.dt > 0, "transient: dt must be positive");
+    PGSI_REQUIRE(opt.tstop > opt.dt, "transient: tstop must exceed dt");
+
+    TransientStepper stepper(nl, opt.dt, opt.method);
+
+    std::vector<NodeId> probes = opt.probes;
+    if (probes.empty())
+        for (NodeId n = 0; n < nl.node_count(); ++n) probes.push_back(n);
+
+    TransientResult res;
+    res.probes = probes;
+    auto record = [&]() {
+        res.time.push_back(stepper.time());
+        VectorD row(probes.size());
+        for (std::size_t k = 0; k < probes.size(); ++k)
+            row[k] = stepper.node_voltage(probes[k]);
+        res.samples.push_back(std::move(row));
+    };
+    record();
+
+    const std::size_t steps = static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt));
+    for (std::size_t s = 1; s <= steps; ++s) {
+        stepper.step();
+        record();
+    }
+    return res;
+}
+
+} // namespace pgsi

@@ -1,0 +1,92 @@
+// Time-domain solution of the linear(ized) system G x + C x' = w (§5.1).
+//
+// Fixed time step ("combined with uniform time step for the linear circuit
+// portion, this approach gives us very efficient simulation time"), with
+// first-order (backward Euler) and second-order (trapezoidal) integration —
+// the two methods the paper cites for stability and accuracy. For a purely
+// linear circuit the MNA matrix is factored exactly once; behavioral drivers
+// introduce time-varying conductances and trigger refactorization only on
+// the steps where their conductances actually move.
+//
+// The engine is exposed both as a one-shot analysis (transient_analyze) and
+// as a resumable TransientStepper. The stepper reads source values from the
+// netlist on every step, so a caller may retarget sources between steps —
+// that is exactly the hook the partitioned co-simulation of §5.2 uses to
+// exchange pin currents and supply-noise voltages between the device and
+// power/ground subsystems.
+#pragma once
+
+#include <memory>
+
+#include "circuit/mna.hpp"
+
+namespace pgsi {
+
+/// Integration method for the transient engine.
+enum class Integrator {
+    Trapezoidal,  ///< second order; default
+    BackwardEuler ///< first order, maximally damped
+};
+
+/// Transient run configuration.
+struct TransientOptions {
+    double dt = 0;     ///< uniform time step [s]
+    double tstop = 0;  ///< final time [s]
+    Integrator method = Integrator::Trapezoidal;
+    /// Nodes to record; empty records every node.
+    std::vector<NodeId> probes;
+};
+
+/// Recorded waveforms of a transient run.
+struct TransientResult {
+    VectorD time;                 ///< sample times (t = 0 is the DC point)
+    std::vector<NodeId> probes;   ///< recorded nodes, in recording order
+    std::vector<VectorD> samples; ///< samples[s][k] = V(probes[k]) at time[s]
+
+    /// Waveform of one recorded node across all samples.
+    VectorD waveform(NodeId node) const;
+    /// Largest |v| over the run at one node.
+    double peak_abs(NodeId node) const;
+    /// Largest |v - v(0)| (noise excursion from the DC level) at one node.
+    double peak_excursion(NodeId node) const;
+};
+
+/// Resumable fixed-step transient engine over a netlist. The netlist is held
+/// by reference and its *source values* are re-read every step; topology and
+/// element values must not change after construction.
+class TransientStepper {
+public:
+    /// Initializes at the DC operating point (time 0).
+    TransientStepper(const Netlist& nl, double dt,
+                     Integrator method = Integrator::Trapezoidal);
+    ~TransientStepper();
+    TransientStepper(const TransientStepper&) = delete;
+    TransientStepper& operator=(const TransientStepper&) = delete;
+
+    /// Advance one time step. The first step always uses backward Euler.
+    void step();
+
+    /// Current simulation time [s].
+    double time() const;
+
+    /// Node voltage at the current time.
+    double node_voltage(NodeId n) const;
+
+    /// Branch current of voltage source k at the current time (defined
+    /// flowing from the + node through the source to the − node).
+    double vsource_current(std::size_t k) const;
+
+    /// Branch current of inductor k at the current time.
+    double inductor_current(std::size_t k) const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Run a transient analysis. The initial condition is the DC operating
+/// point; the first step always uses backward Euler to avoid trapezoidal
+/// ringing on inconsistent initial derivatives.
+TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt);
+
+} // namespace pgsi

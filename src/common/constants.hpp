@@ -1,0 +1,44 @@
+// Physical constants and unit-conversion helpers (SI units everywhere).
+#pragma once
+
+namespace pgsi {
+
+/// Vacuum permittivity [F/m].
+inline constexpr double eps0 = 8.8541878128e-12;
+/// Vacuum permeability [H/m].
+inline constexpr double mu0 = 1.25663706212e-6;
+/// Speed of light in vacuum [m/s].
+inline constexpr double c0 = 2.99792458e8;
+/// Pi.
+inline constexpr double pi = 3.14159265358979323846;
+
+namespace units {
+/// Mil (1/1000 inch) to metres.
+inline constexpr double mil = 25.4e-6;
+/// Inch to metres.
+inline constexpr double inch = 25.4e-3;
+/// Millimetre to metres.
+inline constexpr double mm = 1e-3;
+/// Micrometre to metres.
+inline constexpr double um = 1e-6;
+/// Nanosecond to seconds.
+inline constexpr double ns = 1e-9;
+/// Picosecond to seconds.
+inline constexpr double ps = 1e-12;
+/// Gigahertz to hertz.
+inline constexpr double GHz = 1e9;
+/// Megahertz to hertz.
+inline constexpr double MHz = 1e6;
+/// Picofarad to farads.
+inline constexpr double pF = 1e-12;
+/// Nanofarad to farads.
+inline constexpr double nF = 1e-9;
+/// Microfarad to farads.
+inline constexpr double uF = 1e-6;
+/// Nanohenry to henries.
+inline constexpr double nH = 1e-9;
+/// Picohenry to henries.
+inline constexpr double pH = 1e-12;
+} // namespace units
+
+} // namespace pgsi

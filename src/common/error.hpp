@@ -1,0 +1,56 @@
+// Error handling primitives for the pgsi library.
+//
+// All library errors are reported as exceptions derived from pgsi::Error.
+// PGSI_REQUIRE is used for precondition checks on public API boundaries;
+// PGSI_ASSERT for internal invariants (still active in release builds --
+// extraction bugs silently corrupting a circuit model are far more expensive
+// than the branch).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pgsi {
+
+/// Base class for all errors thrown by the pgsi library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot complete (singular matrix,
+/// non-convergence, ...).
+class NumericalError : public Error {
+public:
+    explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void fail_assert(const char* expr, const char* file, int line) {
+    throw Error(std::string(file) + ":" + std::to_string(line) +
+                ": internal invariant violated: " + expr);
+}
+} // namespace detail
+
+} // namespace pgsi
+
+#define PGSI_REQUIRE(expr, msg)                                                   \
+    do {                                                                          \
+        if (!(expr)) ::pgsi::detail::fail_require(#expr, __FILE__, __LINE__, msg); \
+    } while (0)
+
+#define PGSI_ASSERT(expr)                                                    \
+    do {                                                                     \
+        if (!(expr)) ::pgsi::detail::fail_assert(#expr, __FILE__, __LINE__); \
+    } while (0)

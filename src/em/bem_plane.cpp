@@ -1,0 +1,228 @@
+#include "em/bem_plane.hpp"
+
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/quadrature.hpp"
+
+namespace pgsi {
+
+PlaneBem::PlaneBem(RectMesh mesh, Greens greens, BemOptions options)
+    : mesh_(std::move(mesh)), greens_(std::move(greens)), options_(options) {
+    PGSI_REQUIRE(options_.galerkin_order >= 1 && options_.galerkin_order <= 8,
+                 "BemOptions: galerkin_order out of range");
+    PGSI_REQUIRE(options_.l_quad_order >= 1 && options_.l_quad_order <= 8,
+                 "BemOptions: l_quad_order out of range");
+}
+
+namespace {
+
+Rect cell_rect(const MeshNode& n) {
+    return Rect{n.center.x - 0.5 * n.dx, n.center.x + 0.5 * n.dx,
+                n.center.y - 0.5 * n.dy, n.center.y + 0.5 * n.dy};
+}
+
+Rect branch_rect(const MeshBranch& b) { return Rect{b.x0, b.x1, b.y0, b.y1}; }
+
+// Run fn(j) for j in [0, count) across hardware threads. Assembly work is
+// embarrassingly parallel (independent matrix columns).
+template <class F>
+void parallel_for(std::size_t count, F&& fn) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t nthreads = std::min<std::size_t>(hw, count);
+    if (nthreads <= 1 || count < 16) {
+        for (std::size_t j = 0; j < count; ++j) fn(j);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t tid = 0; tid < nthreads; ++tid) {
+        pool.emplace_back([&, tid] {
+            for (std::size_t j = tid; j < count; j += nthreads) fn(j);
+        });
+    }
+    for (std::thread& th : pool) th.join();
+}
+
+// Average of f over rect with an n×n Gauss rule.
+template <class F>
+double cell_average(const Rect& r, int n, F&& f) {
+    const QuadratureRule& rule = gauss_legendre(n);
+    const double mx = 0.5 * (r.x0 + r.x1), hx = 0.5 * (r.x1 - r.x0);
+    const double my = 0.5 * (r.y0 + r.y1), hy = 0.5 * (r.y1 - r.y0);
+    double s = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = mx + hx * rule.nodes[i];
+        double row = 0;
+        for (int j = 0; j < n; ++j)
+            row += rule.weights[j] * f(Point2{x, my + hy * rule.nodes[j]});
+        s += rule.weights[i] * row;
+    }
+    return 0.25 * s; // Gauss weights sum to 2 per axis; /4 yields the average
+}
+
+} // namespace
+
+void PlaneBem::assemble_potential() const {
+    const auto& nodes = mesh_.nodes();
+    const std::size_t n = nodes.size();
+    MatrixD p(n, n);
+    // Column-parallel: each worker owns whole columns, so writes never race
+    // (the symmetric mirror writes target the same column-pair partition).
+    parallel_for(n, [&](std::size_t j) {
+        const Rect src = cell_rect(nodes[j]);
+        const double inv_area = 1.0 / src.area();
+        for (std::size_t i = j; i < n; ++i) {
+            double v;
+            if (options_.testing == Testing::PointMatching) {
+                v = greens_.phi_integral(nodes[i].center, nodes[i].z, src,
+                                         nodes[j].z) *
+                    inv_area;
+            } else {
+                const Rect obs = cell_rect(nodes[i]);
+                v = cell_average(obs, options_.galerkin_order, [&](Point2 q) {
+                        return greens_.phi_integral(q, nodes[i].z, src, nodes[j].z);
+                    }) *
+                    inv_area;
+            }
+            p(i, j) = v;
+        }
+    });
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = j + 1; i < n; ++i) p(j, i) = p(i, j);
+    ppot_ = std::move(p);
+}
+
+const MatrixD& PlaneBem::potential_matrix() const {
+    if (!ppot_) assemble_potential();
+    return *ppot_;
+}
+
+const MatrixD& PlaneBem::maxwell_capacitance() const {
+    if (!cmax_) {
+        const MatrixD& p = potential_matrix();
+        try {
+            cmax_ = Cholesky(p).inverse();
+        } catch (const NumericalError&) {
+            // Ppot can lose definiteness to quadrature error on extreme
+            // aspect-ratio meshes; fall back to a pivoted LU inverse.
+            cmax_ = Lu<double>(p).inverse();
+        }
+    }
+    return *cmax_;
+}
+
+void PlaneBem::assemble_inductance() const {
+    const auto& branches = mesh_.branches();
+    const std::size_t m = branches.size();
+    MatrixD l(m, m);
+    parallel_for(m, [&](std::size_t b) {
+        const Rect src = branch_rect(branches[b]);
+        const double wb = branches[b].width();
+        for (std::size_t a = b; a < m; ++a) {
+            if (branches[a].dir != branches[b].dir) continue; // orthogonal: no coupling
+            const Rect obs = branch_rect(branches[a]);
+            const double wa = branches[a].width();
+            // Lp = (1/(wa·wb)) ∬_a GA-integral-over-src dA; the outer integral
+            // is smooth (the inner one is exact) so a small Gauss rule suffices.
+            const double avg =
+                cell_average(obs, options_.l_quad_order, [&](Point2 q) {
+                    return greens_.a_integral(q, branches[a].z, src, branches[b].z);
+                });
+            l(a, b) = avg * obs.area() / (wa * wb);
+        }
+    });
+    for (std::size_t b = 0; b < m; ++b)
+        for (std::size_t a = b + 1; a < m; ++a) l(b, a) = l(a, b);
+    l_ = std::move(l);
+}
+
+const MatrixD& PlaneBem::inductance_matrix() const {
+    if (!l_) assemble_inductance();
+    return *l_;
+}
+
+const VectorD& PlaneBem::branch_resistance() const {
+    if (!rbranch_) {
+        const auto& branches = mesh_.branches();
+        VectorD r(branches.size());
+        for (std::size_t b = 0; b < branches.size(); ++b) {
+            const double rs = mesh_.shapes()[branches[b].shape].sheet_resistance;
+            r[b] = rs * branches[b].length() / branches[b].width();
+        }
+        rbranch_ = std::move(r);
+    }
+    return *rbranch_;
+}
+
+MatrixD PlaneBem::incidence_dense() const {
+    const auto& branches = mesh_.branches();
+    MatrixD a(branches.size(), mesh_.node_count());
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+        a(b, branches[b].n1) = 1.0;
+        a(b, branches[b].n2) = -1.0;
+    }
+    return a;
+}
+
+const MatrixD& PlaneBem::gamma() const {
+    if (!gamma_) {
+        const MatrixD& l = inductance_matrix();
+        const MatrixD a = incidence_dense();
+        // X = L⁻¹ P, then Γ = Pᵀ X accumulated through the sparse incidence.
+        MatrixD x;
+        try {
+            x = Cholesky(l).solve(a);
+        } catch (const NumericalError&) {
+            x = Lu<double>(l).solve(a);
+        }
+        const std::size_t n = mesh_.node_count();
+        MatrixD g(n, n);
+        const auto& branches = mesh_.branches();
+        for (std::size_t b = 0; b < branches.size(); ++b) {
+            const double* xrow = x.row(b);
+            double* r1 = g.row(branches[b].n1);
+            double* r2 = g.row(branches[b].n2);
+            for (std::size_t j = 0; j < n; ++j) {
+                r1[j] += xrow[j];
+                r2[j] -= xrow[j];
+            }
+        }
+        // Symmetrize away quadrature noise; Γ is analytically symmetric.
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double v = 0.5 * (g(i, j) + g(j, i));
+                g(i, j) = v;
+                g(j, i) = v;
+            }
+        gamma_ = std::move(g);
+    }
+    return *gamma_;
+}
+
+const MatrixD& PlaneBem::dc_conductance() const {
+    if (!gdc_) {
+        const VectorD& r = branch_resistance();
+        const auto& branches = mesh_.branches();
+        const std::size_t n = mesh_.node_count();
+        MatrixD g(n, n);
+        for (std::size_t b = 0; b < branches.size(); ++b) {
+            PGSI_REQUIRE(r[b] > 0,
+                         "dc_conductance requires a lossy sheet (nonzero "
+                         "sheet_resistance) on every shape");
+            const double gb = 1.0 / r[b];
+            const std::size_t i = branches[b].n1, j = branches[b].n2;
+            g(i, i) += gb;
+            g(j, j) += gb;
+            g(i, j) -= gb;
+            g(j, i) -= gb;
+        }
+        gdc_ = std::move(g);
+    }
+    return *gdc_;
+}
+
+} // namespace pgsi

@@ -1,0 +1,103 @@
+// Boundary-element assembly of the mixed-potential integral equation for
+// plane structures (§3.2, eqs (6)–(11)).
+//
+// Discretization (see geometry/rectmesh.hpp): N charge cells (nodes) and M
+// current cells (branches between adjacent nodes). The MPIE becomes
+//
+//     (Zs + jωL) I − P V = 0            (eq 10)
+//     Pᵀ I + jω C V     = J_i           (eq 11)
+//
+// with
+//   * L  — M×M dense partial-inductance matrix of the current cells
+//          (vector-potential Green's function integrated over cell pairs),
+//   * Zs — M×M diagonal surface-impedance resistance,
+//   * C  — N×N Maxwell capacitance = Ppot⁻¹, where Ppot is the dense
+//          potential-coefficient matrix (scalar-potential Green's function),
+//   * P  — M×N branch-node incidence operator (+1 tail, −1 head): the
+//          discrete gradient that turns node potentials into branch EMFs.
+//
+// Two testing procedures are provided, as in the paper: point matching
+// (collocation at cell centers — fast) and Galerkin (test with the basis
+// functions — more accurate and stable at higher assembly cost).
+#pragma once
+
+#include <optional>
+
+#include "em/greens.hpp"
+#include "em/surface_impedance.hpp"
+#include "geometry/rectmesh.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Testing (sampling) procedure for the integral equations (§3.2).
+enum class Testing {
+    PointMatching, ///< delta test functions at cell centers
+    Galerkin       ///< test functions equal to the basis functions
+};
+
+/// Assembly options.
+struct BemOptions {
+    Testing testing = Testing::PointMatching;
+    /// Gauss order per axis for Galerkin observation integrals.
+    int galerkin_order = 2;
+    /// Gauss order per axis for the outer integral of partial inductances.
+    int l_quad_order = 4;
+};
+
+/// Assembled BEM operator for one meshed plane structure. Matrices are
+/// assembled lazily and cached; all are frequency independent under the
+/// quasi-static approximation of §4.1.
+class PlaneBem {
+public:
+    PlaneBem(RectMesh mesh, Greens greens, BemOptions options = {});
+
+    const RectMesh& mesh() const { return mesh_; }
+    const Greens& greens() const { return greens_; }
+    const BemOptions& options() const { return options_; }
+
+    std::size_t node_count() const { return mesh_.node_count(); }
+    std::size_t branch_count() const { return mesh_.branch_count(); }
+
+    /// Potential-coefficient matrix Ppot (N×N): V = Ppot · Q for total cell
+    /// charges Q. Symmetric positive definite.
+    const MatrixD& potential_matrix() const;
+
+    /// Maxwell capacitance matrix C = Ppot⁻¹ (N×N).
+    const MatrixD& maxwell_capacitance() const;
+
+    /// Partial-inductance matrix L (M×M) of the current cells. Symmetric
+    /// positive definite; orthogonal (x/y) cells do not couple.
+    const MatrixD& inductance_matrix() const;
+
+    /// DC branch resistances [ohm]: sheet resistance × length / width.
+    const VectorD& branch_resistance() const;
+
+    /// Dense incidence matrix P (M×N): row b has +1 at n1(b), −1 at n2(b).
+    MatrixD incidence_dense() const;
+
+    /// Nodal inverse-inductance matrix Γ = Pᵀ L⁻¹ P (N×N). Laplacian-like:
+    /// symmetric, rows sum to zero. The paper's (Pᵀ L⁻¹ P) of eq (16).
+    const MatrixD& gamma() const;
+
+    /// Nodal DC conductance Laplacian G = Pᵀ Zs⁻¹ P (N×N). Requires a lossy
+    /// sheet (nonzero sheet resistance on every meshed shape).
+    const MatrixD& dc_conductance() const;
+
+private:
+    RectMesh mesh_;
+    Greens greens_;
+    BemOptions options_;
+
+    mutable std::optional<MatrixD> ppot_;
+    mutable std::optional<MatrixD> cmax_;
+    mutable std::optional<MatrixD> l_;
+    mutable std::optional<VectorD> rbranch_;
+    mutable std::optional<MatrixD> gamma_;
+    mutable std::optional<MatrixD> gdc_;
+
+    void assemble_potential() const;
+    void assemble_inductance() const;
+};
+
+} // namespace pgsi

@@ -1,0 +1,68 @@
+#include "em/cavity_model.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+double sinc(double x) { return x == 0.0 ? 1.0 : std::sin(x) / x; }
+
+} // namespace
+
+Complex CavityModel::impedance(Point2 p, Point2 q, double freq_hz) const {
+    PGSI_REQUIRE(a > 0 && b > 0 && d > 0, "CavityModel: degenerate geometry");
+    PGSI_REQUIRE(freq_hz > 0, "CavityModel: frequency must be positive");
+    const double omega = 2.0 * pi * freq_hz;
+    const double tand_eff =
+        tan_delta + (rs_total > 0 ? rs_total / (omega * mu0 * d) : 0.0);
+    const Complex k2 = omega * omega * mu0 * eps0 * eps_r *
+                       Complex(1.0, -tand_eff);
+    const Complex scale(0.0, omega * mu0 * d / (a * b));
+
+    Complex z(0.0, 0.0);
+    for (int m = 0; m <= max_modes; ++m) {
+        const double km = m * pi / a;
+        const double chim = (m == 0) ? 1.0 : 2.0;
+        const double sm = sinc(0.5 * km * port_w);
+        for (int n = 0; n <= max_modes; ++n) {
+            const double kn = n * pi / b;
+            const double chin = (n == 0) ? 1.0 : 2.0;
+            const double sn = sinc(0.5 * kn * port_h);
+            const double num = chim * chin * std::cos(km * p.x) *
+                               std::cos(kn * p.y) * std::cos(km * q.x) *
+                               std::cos(kn * q.y) * sm * sm * sn * sn;
+            const double kmn2 = km * km + kn * kn;
+            z += num / (Complex(kmn2, 0.0) - k2);
+        }
+    }
+    return scale * z;
+}
+
+MatrixC CavityModel::impedance_matrix(const std::vector<Point2>& ports,
+                                      double freq_hz) const {
+    MatrixC z(ports.size(), ports.size());
+    for (std::size_t i = 0; i < ports.size(); ++i)
+        for (std::size_t j = i; j < ports.size(); ++j) {
+            const Complex v = impedance(ports[i], ports[j], freq_hz);
+            z(i, j) = v;
+            z(j, i) = v;
+        }
+    return z;
+}
+
+double CavityModel::mode_frequency(int m, int n) const {
+    PGSI_REQUIRE(m >= 0 && n >= 0 && (m + n) > 0,
+                 "CavityModel: mode indices must be non-negative, not both 0");
+    const double km = m * pi / a, kn = n * pi / b;
+    return c0 / std::sqrt(eps_r) * std::sqrt(km * km + kn * kn) / (2.0 * pi);
+}
+
+double CavityModel::static_capacitance() const {
+    return eps0 * eps_r * a * b / d;
+}
+
+} // namespace pgsi

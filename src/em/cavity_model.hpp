@@ -1,0 +1,57 @@
+// Analytic cavity-resonator model of a rectangular plane pair.
+//
+// A rectangular power/ground plane pair (a × b, separation d, dielectric εr)
+// with open (magnetic-wall) edges is a 2-D resonant cavity; its port
+// impedance has the classic double-cosine modal expansion
+//
+//   Z_ij(ω) = jωμ0 d / (a·b) · Σ_{m,n} [ χm χn · f_mn(x_i,y_i) · f_mn(x_j,y_j)
+//                                        · s_mn(port sizes) ] / (k_mn² − k²)
+//
+//   f_mn(x,y)  = cos(mπx/a)·cos(nπy/b)
+//   k_mn²      = (mπ/a)² + (nπ/b)²
+//   k²         = ω² μ0 ε0 εr (1 − j·tanδ_eff)
+//   χ0 = 1, χm = 2 (m ≥ 1);   s_mn = sinc-factors of the finite port size
+//
+// with an effective loss tangent combining the dielectric loss and the
+// conductor surface resistance of both planes:
+//   tanδ_eff = tanδ + Rs_total / (ω μ0 d).
+//
+// This closed form is the standard independent reference for plane-pair
+// extraction tools; here it cross-checks the BEM + equivalent-circuit flow
+// (three-way with the FDTD engine). It is exact for the ideal rectangular
+// pair within the same quasi-TEM assumptions as the rest of the library.
+#pragma once
+
+#include "geometry/point2.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Rectangular plane-pair cavity description.
+struct CavityModel {
+    double a = 0;          ///< plane extent in x [m]
+    double b = 0;          ///< plane extent in y [m]
+    double d = 0;          ///< plane separation [m]
+    double eps_r = 1.0;    ///< relative permittivity
+    double tan_delta = 0;  ///< dielectric loss tangent
+    double rs_total = 0;   ///< combined sheet resistance of both planes [ohm/sq]
+    int max_modes = 40;    ///< modal truncation per axis
+    double port_w = 0.5e-3; ///< port patch size in x [m]
+    double port_h = 0.5e-3; ///< port patch size in y [m]
+
+    /// Transfer impedance between two port locations at frequency f [Hz];
+    /// use p == q for the input impedance.
+    Complex impedance(Point2 p, Point2 q, double freq_hz) const;
+
+    /// Full port impedance matrix for a set of port locations.
+    MatrixC impedance_matrix(const std::vector<Point2>& ports,
+                             double freq_hz) const;
+
+    /// Resonant frequency of the (m, n) mode of the lossless cavity [Hz].
+    double mode_frequency(int m, int n) const;
+
+    /// Static plane capacitance ε·a·b/d [F] (the (0,0) mode).
+    double static_capacitance() const;
+};
+
+} // namespace pgsi

@@ -1,0 +1,116 @@
+#include "em/greens.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+// Exact closed form near the source rectangle, point-source approximation
+// once the 3-D separation exceeds several source diagonals (relative error
+// O((diag/dist)^2) < 1e-3 at the default threshold).
+double inv_r_adaptive(Point2 obs, const Rect& src, double z) {
+    constexpr double far_factor = 8.0;
+    const Point2 c = src.center();
+    const double dx = obs.x - c.x, dy = obs.y - c.y;
+    const double dist2 = dx * dx + dy * dy + z * z;
+    const double diag2 = src.width() * src.width() + src.height() * src.height();
+    if (dist2 > far_factor * far_factor * diag2)
+        return src.area() / std::sqrt(dist2);
+    return rect_inv_r_integral(obs, src, z);
+}
+
+} // namespace
+
+Greens Greens::homogeneous(double eps_r, bool pec_reference) {
+    PGSI_REQUIRE(eps_r >= 1.0, "Greens: eps_r must be >= 1");
+    Greens g;
+    g.kind_ = Kind::Homogeneous;
+    g.eps_r_ = eps_r;
+    g.pec_reference_ = pec_reference;
+    return g;
+}
+
+Greens Greens::grounded_slab(double eps_r, double h, int max_images, double tol) {
+    PGSI_REQUIRE(eps_r >= 1.0, "Greens: eps_r must be >= 1");
+    PGSI_REQUIRE(h > 0, "Greens: slab thickness must be positive");
+    PGSI_REQUIRE(max_images >= 1, "Greens: need at least one image");
+    Greens g;
+    g.kind_ = Kind::GroundedSlab;
+    g.eps_r_ = eps_r;
+    g.slab_h_ = h;
+    g.pec_reference_ = true;
+    const double k = (eps_r - 1.0) / (eps_r + 1.0);
+    // a_n = -(1+K)(-K)^{n-1}; always include n = 1 (the ground image) even
+    // when K == 0.
+    double coeff = -(1.0 + k);
+    for (int n = 1; n <= max_images; ++n) {
+        g.slab_coeff_.push_back(coeff);
+        coeff *= -k;
+        if (std::abs(coeff) < tol) break;
+    }
+    return g;
+}
+
+double Greens::phi_integral(Point2 obs, double obs_z, const Rect& src,
+                            double src_z) const {
+    if (kind_ == Kind::Homogeneous) {
+        const double inv_eps = 1.0 / (4.0 * pi * eps0 * eps_r_);
+        double v = inv_r_adaptive(obs, src, obs_z - src_z);
+        if (pec_reference_) v -= inv_r_adaptive(obs, src, obs_z + src_z);
+        return inv_eps * v;
+    }
+    // Grounded slab: source and observation live on the interface z = h.
+    const double eps_bar = 0.5 * eps0 * (1.0 + eps_r_);
+    const double scale = 1.0 / (4.0 * pi * eps_bar);
+    double v = inv_r_adaptive(obs, src, 0.0);
+    for (std::size_t n = 0; n < slab_coeff_.size(); ++n) {
+        const double z = 2.0 * static_cast<double>(n + 1) * slab_h_;
+        v += slab_coeff_[n] * inv_r_adaptive(obs, src, z);
+    }
+    return scale * v;
+}
+
+double Greens::a_integral(Point2 obs, double obs_z, const Rect& src,
+                          double src_z) const {
+    const double scale = mu0 / (4.0 * pi);
+    if (kind_ == Kind::Homogeneous) {
+        double v = inv_r_adaptive(obs, src, obs_z - src_z);
+        if (pec_reference_) v -= inv_r_adaptive(obs, src, obs_z + src_z);
+        return scale * v;
+    }
+    // Magnetostatics ignores the dielectric: direct term + single PEC image
+    // at depth 2h below the interface.
+    const double v = inv_r_adaptive(obs, src, 0.0) -
+                     inv_r_adaptive(obs, src, 2.0 * slab_h_);
+    return scale * v;
+}
+
+double Greens::phi_2d(double dx, double obs_z, double src_z) const {
+    // 2-D potential of a unit line charge: φ = -ln(ρ) / (2πε) + const. The
+    // additive constant cancels in potential *differences*, which is all the
+    // capacitance extraction uses once a reference conductor exists.
+    if (kind_ == Kind::Homogeneous) {
+        const double scale = -1.0 / (2.0 * pi * eps0 * eps_r_);
+        const double rho2 = dx * dx + (obs_z - src_z) * (obs_z - src_z);
+        double v = 0.5 * std::log(rho2);
+        if (pec_reference_) {
+            const double rho2i = dx * dx + (obs_z + src_z) * (obs_z + src_z);
+            v -= 0.5 * std::log(rho2i);
+        }
+        return scale * v;
+    }
+    const double eps_bar = 0.5 * eps0 * (1.0 + eps_r_);
+    const double scale = -1.0 / (2.0 * pi * eps_bar);
+    double v = std::log(std::abs(dx));
+    for (std::size_t n = 0; n < slab_coeff_.size(); ++n) {
+        const double z = 2.0 * static_cast<double>(n + 1) * slab_h_;
+        v += slab_coeff_[n] * 0.5 * std::log(dx * dx + z * z);
+    }
+    return scale * v;
+}
+
+} // namespace pgsi

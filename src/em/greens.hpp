@@ -1,0 +1,101 @@
+// Quasi-static layered-media Green's functions (§3.1, §4.1).
+//
+// Under the quasi-static approximation of §4.1 the retardation factor in the
+// exponential kernels is dropped and the scalar/vector potential Green's
+// functions become real, frequency-independent image series. Two layered
+// configurations cover the paper's structures:
+//
+//  * Homogeneous(εr) with an optional PEC reference plane at z = 0:
+//    conductors embedded in one dielectric over an (optionally infinite)
+//    ground plane. Used for power-plane pairs, where the field is confined
+//    between the planes (test plane of Fig. 6, the SSN boards of §6.2, the
+//    split MCM planes of Fig. 1).
+//
+//      Gφ(r, r') = 1/(4πε) [ 1/R − 1/R_img ]          (image charge −q at −z')
+//      GA(r, r') = μ0/(4π) [ 1/R − 1/R_img ]          (image of a horizontal
+//                                                      current is antiparallel)
+//
+//  * GroundedSlab(εr, h): conductors on the surface of a dielectric slab of
+//    thickness h backed by a PEC ground plane — the microstrip configuration
+//    (L-shaped patch of §6.1 ex. 1, the coupled microstrip of Fig. 4).
+//    Solving Laplace's equation in the spectral domain for a charge on the
+//    interface and expanding in powers of e^{-2kh} gives the exact image
+//    series
+//
+//      Gφ(ρ) = 1/(4π ε̄) [ 1/ρ + Σ_{n≥1} a_n / sqrt(ρ² + (2nh)²) ],
+//      ε̄ = ε0 (1+εr)/2,   a_n = −(1+K) (−K)^{n−1},   K = (εr−1)/(εr+1).
+//
+//    Sanity limits: εr = 1 reduces to a single −1 image at depth 2h (plain
+//    charge over ground); εr → ∞ gives Gφ → 0 (buried in a conductor).
+//    The magnetostatic vector potential does not see the dielectric:
+//      GA(ρ) = μ0/(4π) [ 1/ρ − 1/sqrt(ρ² + (2h)²) ].
+//
+// The class exposes the kernels *integrated over source rectangles* (using
+// the closed forms of rectint.hpp), which is what the BEM assembly consumes,
+// plus pointwise and 2-D (logarithmic) variants for the transmission-line
+// cross-section extractor.
+#pragma once
+
+#include <vector>
+
+#include "em/rectint.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Quasi-static Green's functions for one layered configuration.
+class Greens {
+public:
+    /// Homogeneous dielectric εr; if pec_reference, an infinite ground plane
+    /// lies at z = 0 and image terms are added.
+    static Greens homogeneous(double eps_r, bool pec_reference);
+
+    /// Microstrip configuration: conductors on a grounded dielectric slab of
+    /// thickness h [m]. The image series is truncated when the coefficient
+    /// magnitude falls below tol (or at max_images terms).
+    static Greens grounded_slab(double eps_r, double h, int max_images = 64,
+                                double tol = 1e-7);
+
+    /// ∬_src Gφ dA': scalar-potential kernel integrated over a source
+    /// rectangle at height src_z, observed at (obs, obs_z). Units V·m²/C such
+    /// that V = Gφ_int · (charge density); multiply by total charge / area
+    /// externally as needed.
+    double phi_integral(Point2 obs, double obs_z, const Rect& src,
+                        double src_z) const;
+
+    /// ∬_src GA dA' for parallel horizontal currents (x-x or y-y); currents
+    /// along orthogonal directions do not couple in this geometry.
+    double a_integral(Point2 obs, double obs_z, const Rect& src,
+                      double src_z) const;
+
+    /// Pointwise 2-D scalar kernel for infinitely long line charges (used by
+    /// the transmission-line cross-section extractor): potential per unit
+    /// line charge density between lateral positions, up to a common additive
+    /// constant. For the slab configuration both points must lie on the
+    /// interface.
+    double phi_2d(double dx, double obs_z, double src_z) const;
+
+    /// True if this configuration has a PEC reference plane (so capacitance
+    /// to the reference exists and the potential is gauge-fixed).
+    bool has_reference() const { return pec_reference_; }
+
+    /// Relative permittivity of the (primary) dielectric.
+    double eps_r() const { return eps_r_; }
+
+    /// Slab thickness, 0 for homogeneous configurations.
+    double slab_h() const { return slab_h_; }
+
+private:
+    enum class Kind { Homogeneous, GroundedSlab };
+    Kind kind_ = Kind::Homogeneous;
+    double eps_r_ = 1.0;
+    double slab_h_ = 0.0;
+    bool pec_reference_ = false;
+    // Image series for the slab scalar potential: offsets 2nh with
+    // coefficients a_n (direct term handled separately).
+    std::vector<double> slab_coeff_;
+
+    Greens() = default;
+};
+
+} // namespace pgsi

@@ -1,0 +1,50 @@
+#include "em/rectint.hpp"
+
+#include <cmath>
+
+namespace pgsi {
+
+namespace {
+
+// Corner antiderivative F(u,v) of 1/sqrt(u^2+v^2+z^2).
+// ln(v + r) is rewritten as ln((u^2+z^2)/(r - v)) when v < 0; the two forms
+// are identical analytically ((v+r)(r-v) = u^2+z^2) but the rewrite avoids
+// catastrophic cancellation when v is negative and |v| ≈ r.
+double corner(double u, double v, double z) {
+    const double r = std::sqrt(u * u + v * v + z * z);
+    if (r == 0.0) return 0.0;
+
+    double t1 = 0.0;
+    if (u != 0.0) {
+        const double uz = u * u + z * z;
+        const double arg = (v >= 0.0) ? (v + r) : uz / (r - v);
+        // arg == 0 only when u^2+z^2 == 0, i.e. u == 0, handled above.
+        t1 = u * std::log(arg);
+    }
+    double t2 = 0.0;
+    if (v != 0.0) {
+        const double vz = v * v + z * z;
+        const double arg = (u >= 0.0) ? (u + r) : vz / (r - u);
+        t2 = v * std::log(arg);
+    }
+    double t3 = 0.0;
+    if (z != 0.0) t3 = z * std::atan2(u * v, z * r);
+    return t1 + t2 - t3;
+}
+
+} // namespace
+
+double rect_inv_r_integral(Point2 p, const Rect& r, double z) {
+    const double u0 = r.x0 - p.x, u1 = r.x1 - p.x;
+    const double v0 = r.y0 - p.y, v1 = r.y1 - p.y;
+    return corner(u1, v1, z) - corner(u0, v1, z) - corner(u1, v0, z) +
+           corner(u0, v0, z);
+}
+
+double rect_inv_r_point_approx(Point2 p, const Rect& r, double z) {
+    const Point2 c = r.center();
+    const double dx = p.x - c.x, dy = p.y - c.y;
+    return r.area() / std::sqrt(dx * dx + dy * dy + z * z);
+}
+
+} // namespace pgsi

@@ -1,0 +1,43 @@
+// Closed-form potential integrals over rectangles (§3.2, "special techniques
+// such as closed form formulas").
+//
+// The workhorse is
+//
+//     I(p, R, z) = ∬_R dA' / sqrt((px-x')^2 + (py-y')^2 + z^2)
+//
+// — the 1/r kernel of the quasi-static Green's functions integrated exactly
+// over a source rectangle R, observed from point p offset by z out of the
+// source plane. Both the potential-coefficient matrix (charge cells) and the
+// partial-inductance matrix (current cells), including all image terms of the
+// layered Green's functions, reduce to this primitive.
+//
+// The corner antiderivative of 1/r is
+//     F(u, v) = u·ln(v + r) + v·ln(u + r) − z·atan2(u·v, z·r),   r = |(u,v,z)|
+// and the integral is the four-corner alternating sum of F. The logarithms
+// are evaluated in a numerically stable form for negative arguments.
+#pragma once
+
+#include "geometry/point2.hpp"
+
+namespace pgsi {
+
+/// An axis-aligned rectangle in a conductor plane.
+struct Rect {
+    double x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+    double area() const { return width() * height(); }
+    Point2 center() const { return {0.5 * (x0 + x1), 0.5 * (y0 + y1)}; }
+};
+
+/// Exact ∬_R dA' / r with r = sqrt((px-x')^2+(py-y')^2+z^2). Valid for any
+/// observation point, including points inside R (z = 0 included).
+double rect_inv_r_integral(Point2 p, const Rect& r, double z);
+
+/// Far-field (point-source) approximation: area / distance-to-center. Used
+/// when the observation point is many rectangle diagonals away, where it is
+/// accurate to O((d/dist)^2).
+double rect_inv_r_point_approx(Point2 p, const Rect& r, double z);
+
+} // namespace pgsi

@@ -1,0 +1,70 @@
+#include "em/solver.hpp"
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "numeric/lu.hpp"
+
+namespace pgsi {
+
+DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs)
+    : bem_(bem), zs_(zs) {}
+
+MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
+    PGSI_REQUIRE(freq_hz > 0, "DirectSolver: frequency must be positive");
+    const double omega = 2.0 * pi * freq_hz;
+    const Complex jw(0.0, omega);
+
+    const MatrixD& l = bem_.inductance_matrix();
+    const MatrixD& c = bem_.maxwell_capacitance();
+    const auto& branches = bem_.mesh().branches();
+    const std::size_t m = branches.size();
+    const std::size_t n = bem_.node_count();
+
+    // Branch impedance matrix Zb = Zs(ω)·len/width + jωL.
+    MatrixC zb(m, m);
+    for (std::size_t a = 0; a < m; ++a)
+        for (std::size_t b = 0; b < m; ++b) zb(a, b) = jw * l(a, b);
+    const Complex zs = zs_.at(omega);
+    for (std::size_t b = 0; b < m; ++b)
+        zb(b, b) += zs * branches[b].length() / branches[b].width();
+
+    // X = Zb⁻¹ P, built column-by-column through the sparse incidence.
+    const Lu<Complex> lu(std::move(zb));
+    MatrixC y(n, n);
+    VectorC col(m);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t b = 0; b < m; ++b) {
+            double v = 0;
+            if (branches[b].n1 == j) v += 1.0;
+            if (branches[b].n2 == j) v -= 1.0;
+            col[b] = Complex(v, 0.0);
+        }
+        const VectorC x = lu.solve(col);
+        // Y(:,j) += Pᵀ x
+        for (std::size_t b = 0; b < m; ++b) {
+            y(branches[b].n1, j) += x[b];
+            y(branches[b].n2, j) -= x[b];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) y(i, j) += jw * c(i, j);
+    return y;
+}
+
+MatrixC DirectSolver::port_impedance(
+    double freq_hz, const std::vector<std::size_t>& port_nodes) const {
+    PGSI_REQUIRE(!port_nodes.empty(), "DirectSolver: no port nodes given");
+    const MatrixC y = nodal_admittance(freq_hz);
+    const MatrixC zfull = Lu<Complex>(y).inverse();
+    return zfull.submatrix(port_nodes, port_nodes);
+}
+
+std::vector<MatrixC> DirectSolver::sweep_impedance(
+    const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
+    std::vector<MatrixC> out;
+    out.reserve(freqs_hz.size());
+    for (double f : freqs_hz) out.push_back(port_impedance(f, port_nodes));
+    return out;
+}
+
+} // namespace pgsi

@@ -1,0 +1,42 @@
+// Direct frequency-domain solution of the discretized MPIE system (§3.2).
+//
+// At each frequency the full coupled system
+//     (Zs(ω) + jωL) I = P V,    Pᵀ I + jω C V = J
+// is solved without the equivalent-circuit reduction of §4: the only
+// approximation retained is the quasi-static (non-retarded) Green's function.
+// This is the in-house reference against which the extracted RLC macromodel
+// is validated (the role the measurement and full-wave data play in §6.1).
+#pragma once
+
+#include <vector>
+
+#include "em/bem_plane.hpp"
+
+namespace pgsi {
+
+/// Direct sweep solver over an assembled PlaneBem.
+class DirectSolver {
+public:
+    /// zs: frequency-dependent surface impedance applied to all branches
+    /// (scaled by each branch's length/width). Pass a default-constructed
+    /// SurfaceImpedance for the lossless case.
+    DirectSolver(const PlaneBem& bem, SurfaceImpedance zs);
+
+    /// Full N×N nodal admittance matrix Y(ω) = jωC + Pᵀ(Zs+jωL)⁻¹P.
+    MatrixC nodal_admittance(double freq_hz) const;
+
+    /// Impedance matrix seen at the given mesh nodes (all other nodes open):
+    /// the port submatrix of Y(ω)⁻¹.
+    MatrixC port_impedance(double freq_hz,
+                           const std::vector<std::size_t>& port_nodes) const;
+
+    /// Convenience sweep: Z(f) for each frequency in freqs_hz.
+    std::vector<MatrixC> sweep_impedance(
+        const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const;
+
+private:
+    const PlaneBem& bem_;
+    SurfaceImpedance zs_;
+};
+
+} // namespace pgsi

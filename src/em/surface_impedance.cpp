@@ -1,0 +1,38 @@
+#include "em/surface_impedance.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+SurfaceImpedance SurfaceImpedance::from_sheet_resistance(double rs_dc) {
+    PGSI_REQUIRE(rs_dc >= 0, "SurfaceImpedance: sheet resistance must be >= 0");
+    SurfaceImpedance z;
+    z.rs_dc_ = rs_dc;
+    return z;
+}
+
+SurfaceImpedance SurfaceImpedance::from_conductor(double sigma, double thickness) {
+    PGSI_REQUIRE(sigma > 0, "SurfaceImpedance: conductivity must be positive");
+    PGSI_REQUIRE(thickness > 0, "SurfaceImpedance: thickness must be positive");
+    SurfaceImpedance z;
+    z.sigma_ = sigma;
+    z.thickness_ = thickness;
+    z.rs_dc_ = 1.0 / (sigma * thickness);
+    return z;
+}
+
+Complex SurfaceImpedance::at(double omega) const {
+    if (sigma_ == 0.0 || omega <= 0.0) return Complex(rs_dc_, 0.0);
+    const double delta = std::sqrt(2.0 / (omega * mu0 * sigma_));
+    const Complex gamma = Complex(1.0, 1.0) / delta; // (1+j)/δ
+    const Complex gt = gamma * thickness_;
+    // coth(gt) = cosh/sinh; for large |gt| this saturates to 1 (skin limit).
+    if (std::abs(gt) > 30.0) return gamma / sigma_;
+    const Complex coth = std::cosh(gt) / std::sinh(gt);
+    return gamma / sigma_ * coth;
+}
+
+} // namespace pgsi

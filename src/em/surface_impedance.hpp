@@ -1,0 +1,46 @@
+// Conductor surface impedance Zs(ω) (§3.1, impedance boundary condition).
+//
+// A finite-thickness conducting sheet has the exact internal impedance
+//     Zs(ω) = (1+j)/(σ δ) · coth( (1+j) t / δ ),   δ = sqrt(2/(ω μ σ)),
+// which limits to the DC sheet resistance 1/(σ t) at low frequency and to
+// the skin-effect impedance (1+j)/(σ δ) once δ ≪ t. The quasi-static circuit
+// extraction of §4 keeps only the DC value (the paper's first-order loss
+// approximation); the exact Zs(ω) is available for the direct frequency
+// sweep.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Frequency-dependent surface impedance of a thin conducting sheet.
+class SurfaceImpedance {
+public:
+    /// Ideal (lossless) conductor.
+    SurfaceImpedance() = default;
+
+    /// From a DC sheet resistance [ohm/square]; thickness unknown, so the
+    /// skin-effect transition is unavailable and Zs(ω) stays at the DC value
+    /// (adequate for the paper's examples, e.g. the 6 mΩ/sq tungsten planes).
+    static SurfaceImpedance from_sheet_resistance(double rs_dc);
+
+    /// From bulk conductivity σ [S/m] and sheet thickness t [m]; Zs(ω) uses
+    /// the exact coth form.
+    static SurfaceImpedance from_conductor(double sigma, double thickness);
+
+    /// DC sheet resistance [ohm/square].
+    double dc() const { return rs_dc_; }
+
+    /// Surface impedance at angular frequency ω [ohm/square].
+    Complex at(double omega) const;
+
+    /// True for the default-constructed lossless sheet.
+    bool lossless() const { return rs_dc_ == 0.0 && sigma_ == 0.0; }
+
+private:
+    double rs_dc_ = 0.0;
+    double sigma_ = 0.0;      // 0 when constructed from sheet resistance only
+    double thickness_ = 0.0;
+};
+
+} // namespace pgsi

@@ -1,0 +1,36 @@
+#include "em/via.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+double ViaSpec::inductance() const {
+    PGSI_REQUIRE(length > 0 && drill > 0, "ViaSpec: degenerate geometry");
+    PGSI_REQUIRE(4.0 * length > drill, "ViaSpec: barrel shorter than drill/4");
+    return mu0 / (2.0 * pi) * length * (std::log(4.0 * length / drill) + 1.0);
+}
+
+double ViaSpec::resistance() const {
+    PGSI_REQUIRE(plating > 0 && plating < drill,
+                 "ViaSpec: plating must be positive and thinner than the drill");
+    return resistivity * length / (pi * plating * (drill - plating));
+}
+
+double ViaSpec::capacitance() const {
+    PGSI_REQUIRE(antipad > pad && pad > 0,
+                 "ViaSpec: antipad must exceed the pad diameter");
+    return 2.0 * pi * eps0 * eps_r * length / std::log(antipad / pad);
+}
+
+void stamp_via(Netlist& nl, const std::string& name, NodeId top, NodeId bottom,
+               NodeId ref, const ViaSpec& via) {
+    nl.add_inductor("L" + name, top, bottom, via.inductance(), via.resistance());
+    const double c_half = 0.5 * via.capacitance();
+    if (top != ref) nl.add_capacitor("C" + name + "_t", top, ref, c_half);
+    if (bottom != ref) nl.add_capacitor("C" + name + "_b", bottom, ref, c_half);
+}
+
+} // namespace pgsi

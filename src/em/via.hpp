@@ -1,0 +1,43 @@
+// Via parasitics (§3.1: "the planes and signal traces are connected to each
+// other and to external power supplies through vias or ground pins").
+//
+// Engineering closed forms for a plated through-via crossing a plane pair:
+//
+//   L ≈ (µ0/2π) · h · [ ln(4h/d) + 1 ]          barrel partial inductance
+//   R = ρ · h / (π · t · (d − t))               plated-barrel DC resistance
+//   C ≈ 2π ε0 εr · h / ln(D_antipad / D_pad)    coaxial pad/antipad capacitance
+//
+// with h the barrel length, d the drill diameter, t the plating thickness.
+// These are the standard first-order models used in PDN tools; the stamp
+// helper realizes the via as a series R–L with half the capacitance at each
+// end.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace pgsi {
+
+/// Geometry/material description of a plated via.
+struct ViaSpec {
+    double length = 1.6e-3;        ///< barrel length h [m]
+    double drill = 0.3e-3;         ///< drill diameter d [m]
+    double plating = 25e-6;        ///< plating thickness t [m]
+    double pad = 0.6e-3;           ///< pad diameter [m]
+    double antipad = 1.0e-3;       ///< antipad (clearance) diameter [m]
+    double eps_r = 4.5;            ///< dielectric around the barrel
+    double resistivity = 1.72e-8;  ///< barrel metal resistivity [ohm·m] (Cu)
+
+    /// Barrel partial inductance [H].
+    double inductance() const;
+    /// Barrel DC resistance [ohm].
+    double resistance() const;
+    /// Total pad/antipad capacitance [F].
+    double capacitance() const;
+};
+
+/// Stamp a via between `top` and `bottom`, with the pad capacitances
+/// returned to `ref`. Element names are prefixed by `name`.
+void stamp_via(Netlist& nl, const std::string& name, NodeId top, NodeId bottom,
+               NodeId ref, const ViaSpec& via);
+
+} // namespace pgsi

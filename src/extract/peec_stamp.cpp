@@ -1,0 +1,62 @@
+#include "extract/peec_stamp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+void stamp_peec(Netlist& nl, const PlaneBem& bem,
+                const std::vector<NodeId>& node_map, NodeId ref,
+                const std::string& prefix, const PeecOptions& options) {
+    PGSI_REQUIRE(node_map.size() == bem.node_count(),
+                 "stamp_peec: node_map size mismatch");
+
+    const auto& branches = bem.mesh().branches();
+    const MatrixD& l = bem.inductance_matrix();
+    const VectorD& r = bem.branch_resistance();
+
+    // Branch self inductances (+ DC resistance in series).
+    std::vector<std::string> lnames(branches.size());
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+        lnames[b] = "L" + prefix + "_" + std::to_string(b);
+        nl.add_inductor(lnames[b], node_map[branches[b].n1],
+                        node_map[branches[b].n2], l(b, b), r[b]);
+    }
+    // Mutual couplings.
+    for (std::size_t a = 0; a < branches.size(); ++a) {
+        for (std::size_t b = a + 1; b < branches.size(); ++b) {
+            if (l(a, b) == 0.0) continue;
+            const double k = l(a, b) / std::sqrt(l(a, a) * l(b, b));
+            if (std::abs(k) < options.coupling_floor) continue;
+            nl.add_mutual("K" + prefix + "_" + std::to_string(a) + "_" +
+                              std::to_string(b),
+                          lnames[a], lnames[b], k);
+        }
+    }
+
+    // Maxwell capacitance network: branch caps −C_ij, node caps = row sums.
+    const MatrixD& c = bem.maxwell_capacitance();
+    const std::size_t n = bem.node_count();
+    double cmax = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            cmax = std::max(cmax, std::abs(c(i, j)));
+    const double cfloor = options.cap_rel_floor * cmax;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double cb = -c(i, j);
+            if (std::abs(cb) <= cfloor) continue;
+            nl.add_capacitor("C" + prefix + "_" + std::to_string(i) + "_" +
+                                 std::to_string(j),
+                             node_map[i], node_map[j], cb);
+        }
+        double row = 0;
+        for (std::size_t j = 0; j < n; ++j) row += c(j, i);
+        if (row > 0 && node_map[i] != ref)
+            nl.add_capacitor("C" + prefix + "_g" + std::to_string(i),
+                             node_map[i], ref, row);
+    }
+}
+
+} // namespace pgsi

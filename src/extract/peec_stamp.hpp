@@ -1,0 +1,41 @@
+// Direct PEEC netlist realization of the assembled MPIE system (§3.2).
+//
+// Alternative to the element-wise equivalent circuit of §4.2: every mesh
+// branch becomes an inductor (with its DC resistance in series) and every
+// pair of branches of like orientation gets a mutual coupling from the
+// partial-inductance matrix; the Maxwell capacitance becomes a capacitor
+// network. Because the partial-inductance matrix is SPD, this realization is
+// passive *by construction* — unconditionally stable in transient analysis —
+// at the cost of one MNA current unknown per mesh branch.
+//
+// Use it for structures with several galvanically separate nets (coupled
+// traces, split planes): there the Γ-based branch circuit contains negative
+// mutual-inductance branches whose internal loop modes are unstable, while
+// the PEEC form is safe.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "em/bem_plane.hpp"
+
+namespace pgsi {
+
+/// Controls for the PEEC stamping.
+struct PeecOptions {
+    /// Drop mutual couplings with |k| below this (keeps the K-element count
+    /// manageable on big meshes; 0 keeps all).
+    double coupling_floor = 1e-3;
+    /// Drop capacitor branches below this fraction of the largest Maxwell
+    /// off-diagonal.
+    double cap_rel_floor = 1e-3;
+};
+
+/// Stamp the full PEEC model of `bem` into `nl`.
+///
+/// node_map[i] is the netlist node for mesh node i (created by the caller,
+/// e.g. via Netlist::add_node); `ref` is the reference node the node
+/// capacitances return to. Element names are prefixed for uniqueness.
+void stamp_peec(Netlist& nl, const PlaneBem& bem,
+                const std::vector<NodeId>& node_map, NodeId ref,
+                const std::string& prefix, const PeecOptions& options = {});
+
+} // namespace pgsi

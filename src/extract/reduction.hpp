@@ -1,0 +1,32 @@
+// Node reduction for the extracted nodal matrices (§4.2: "for a real design
+// where every external connection, such as power/ground pin, is selected as
+// a circuit node").
+//
+// The BEM produces nodal matrices over every mesh cell; the equivalent
+// circuit retains only the designated circuit nodes (pins, probe pads,
+// optionally a coarse interior grid). Two reductions are needed:
+//
+//  * Kron reduction (Laplacian Schur complement) for the inverse-inductance
+//    matrix Γ and the DC conductance G: internal nodes carry no injected
+//    current, so  M_red = M_kk − M_ke · M_ee⁻¹ · M_ek.
+//  * Floating-node reduction for the Maxwell capacitance: internal nodes
+//    carry no *charge*, which leads to the identical Schur complement on C.
+//
+// Both are the same algebra; the function below implements it once.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Schur complement of m onto the kept index set:
+/// m_kk − m_ke · m_ee⁻¹ · m_ek. Kept indices must be distinct and in range.
+MatrixD schur_reduce(const MatrixD& m, const std::vector<std::size_t>& keep);
+
+/// The complement of `keep` in [0, n).
+std::vector<std::size_t> complement_indices(std::size_t n,
+                                            const std::vector<std::size_t>& keep);
+
+} // namespace pgsi

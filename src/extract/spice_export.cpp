@@ -1,0 +1,48 @@
+#include "extract/spice_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace pgsi {
+
+void write_spice_subckt(std::ostream& os, const EquivalentCircuit& ec,
+                        const std::string& subckt_name) {
+    const std::size_t n = ec.node_count();
+    os << "* pgsi extracted power/ground equivalent circuit\n";
+    os << "* " << n << " nodes, " << ec.branches.size() << " branches\n";
+    os << ".SUBCKT " << subckt_name;
+    for (std::size_t k = 0; k < n; ++k) os << " n" << k;
+    os << " ref\n";
+    os.precision(9);
+    std::size_t mid = 0;
+    for (const RlcBranch& b : ec.branches) {
+        const std::string suffix =
+            std::to_string(b.m) + "_" + std::to_string(b.n);
+        if (b.c > 0)
+            os << "C" << suffix << " n" << b.m << " n" << b.n << " " << b.c << "\n";
+        if (b.l != 0 && b.r > 0) {
+            os << "R" << suffix << " n" << b.m << " mid" << mid << " " << b.r
+               << "\n";
+            os << "L" << suffix << " mid" << mid << " n" << b.n << " " << b.l
+               << "\n";
+            ++mid;
+        } else if (b.l != 0) {
+            os << "L" << suffix << " n" << b.m << " n" << b.n << " " << b.l << "\n";
+        } else if (b.r > 0) {
+            os << "R" << suffix << " n" << b.m << " n" << b.n << " " << b.r << "\n";
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        if (ec.node_cap[k] > 0)
+            os << "Cg" << k << " n" << k << " ref " << ec.node_cap[k] << "\n";
+    os << ".ENDS " << subckt_name << "\n";
+}
+
+std::string spice_subckt_string(const EquivalentCircuit& ec,
+                                const std::string& subckt_name) {
+    std::ostringstream os;
+    write_spice_subckt(os, ec, subckt_name);
+    return os.str();
+}
+
+} // namespace pgsi

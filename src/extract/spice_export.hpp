@@ -1,0 +1,23 @@
+// SPICE netlist export of an extracted equivalent circuit, so the macromodel
+// can be consumed by external circuit simulators (§5.1: "general purpose
+// circuit simulators such as SPICE can also be used for the simulation").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "extract/equivalent_circuit.hpp"
+
+namespace pgsi {
+
+/// Write the circuit as a .SUBCKT. Terminal order: node 0..N-1, then the
+/// reference node last. Element values are emitted in SI units with full
+/// precision.
+void write_spice_subckt(std::ostream& os, const EquivalentCircuit& ec,
+                        const std::string& subckt_name);
+
+/// Convenience: render to a string.
+std::string spice_subckt_string(const EquivalentCircuit& ec,
+                                const std::string& subckt_name);
+
+} // namespace pgsi

@@ -1,0 +1,24 @@
+// Minimal 2-D point/vector type used across geometry, EM and board modules.
+#pragma once
+
+#include <cmath>
+
+namespace pgsi {
+
+/// A point (or displacement) in the board plane, metres.
+struct Point2 {
+    double x = 0;
+    double y = 0;
+
+    friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+    friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+    friend Point2 operator*(double s, Point2 a) { return {s * a.x, s * a.y}; }
+    friend bool operator==(Point2 a, Point2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Point2 a, Point2 b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+} // namespace pgsi

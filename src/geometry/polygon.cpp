@@ -1,0 +1,59 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+Polygon::Polygon(std::vector<Point2> vertices) : verts_(std::move(vertices)) {
+    PGSI_REQUIRE(verts_.size() >= 3, "Polygon needs at least 3 vertices");
+}
+
+Polygon Polygon::rectangle(double x0, double y0, double x1, double y1) {
+    PGSI_REQUIRE(x1 > x0 && y1 > y0, "rectangle: degenerate extents");
+    return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+Polygon Polygon::lshape(double w, double h, double cut_x, double cut_y) {
+    PGSI_REQUIRE(w > 0 && h > 0, "lshape: degenerate extents");
+    PGSI_REQUIRE(cut_x > 0 && cut_x < w && cut_y > 0 && cut_y < h,
+                 "lshape: cut must be interior");
+    return Polygon({{0, 0}, {w, 0}, {w, cut_y}, {cut_x, cut_y}, {cut_x, h}, {0, h}});
+}
+
+bool Polygon::contains(Point2 p) const {
+    bool inside = false;
+    const std::size_t n = verts_.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+        const Point2& a = verts_[i];
+        const Point2& b = verts_[j];
+        const bool crosses = (a.y > p.y) != (b.y > p.y);
+        if (crosses) {
+            const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if (p.x < x_at) inside = !inside;
+        }
+    }
+    return inside;
+}
+
+double Polygon::signed_area() const {
+    double s = 0;
+    const std::size_t n = verts_.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++)
+        s += verts_[j].x * verts_[i].y - verts_[i].x * verts_[j].y;
+    return 0.5 * s;
+}
+
+Bbox Polygon::bbox() const {
+    Bbox b{verts_[0].x, verts_[0].y, verts_[0].x, verts_[0].y};
+    for (const Point2& p : verts_) {
+        b.x0 = std::min(b.x0, p.x);
+        b.y0 = std::min(b.y0, p.y);
+        b.x1 = std::max(b.x1, p.x);
+        b.y1 = std::max(b.y1, p.y);
+    }
+    return b;
+}
+
+} // namespace pgsi

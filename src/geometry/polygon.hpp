@@ -1,0 +1,52 @@
+// Simple polygons for describing plane shapes: power/ground planes, split
+// (complementary) planes, cutouts and antipads (Fig. 1 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "geometry/point2.hpp"
+
+namespace pgsi {
+
+/// Axis-aligned bounding box.
+struct Bbox {
+    double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+};
+
+/// A simple (non-self-intersecting) polygon. Orientation does not matter;
+/// containment uses the even-odd rule.
+class Polygon {
+public:
+    Polygon() = default;
+    /// Construct from a vertex list (at least 3 vertices).
+    explicit Polygon(std::vector<Point2> vertices);
+
+    /// Axis-aligned rectangle [x0,x1] x [y0,y1].
+    static Polygon rectangle(double x0, double y0, double x1, double y1);
+
+    /// An L-shape: the rectangle [0,w] x [0,h] minus its upper-right
+    /// sub-rectangle [cut_x,w] x [cut_y,h]. Matches the classic L-shaped
+    /// microstrip patch benchmark (paper §6.1 example 1).
+    static Polygon lshape(double w, double h, double cut_x, double cut_y);
+
+    const std::vector<Point2>& vertices() const { return verts_; }
+
+    /// Even-odd point containment. Points exactly on an edge count as inside
+    /// for the purposes of meshing (cell centers never land on edges when
+    /// the pitch does not divide the geometry degenerately).
+    bool contains(Point2 p) const;
+
+    /// Signed area (positive for counter-clockwise orientation).
+    double signed_area() const;
+    /// Absolute area.
+    double area() const { return std::abs(signed_area()); }
+
+    Bbox bbox() const;
+
+private:
+    std::vector<Point2> verts_;
+};
+
+} // namespace pgsi

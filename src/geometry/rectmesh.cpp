@@ -1,0 +1,149 @@
+#include "geometry/rectmesh.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+RectMesh::RectMesh(std::vector<ConductorShape> shapes, double pitch)
+    : shapes_(std::move(shapes)), pitch_(pitch) {
+    PGSI_REQUIRE(!shapes_.empty(), "RectMesh: no shapes");
+    PGSI_REQUIRE(pitch_ > 0, "RectMesh: pitch must be positive");
+    build();
+    label_components();
+}
+
+void RectMesh::build() {
+    for (std::size_t s = 0; s < shapes_.size(); ++s) {
+        const ConductorShape& shape = shapes_[s];
+        const Bbox bb = shape.outline.bbox();
+        const auto nx = static_cast<long>(std::ceil(bb.width() / pitch_ - 1e-9));
+        const auto ny = static_cast<long>(std::ceil(bb.height() / pitch_ - 1e-9));
+        PGSI_REQUIRE(nx >= 1 && ny >= 1, "RectMesh: shape smaller than pitch");
+        // Stretch the pitch slightly so an integer number of cells exactly
+        // tiles the bounding box in each direction.
+        const double dx = bb.width() / static_cast<double>(nx);
+        const double dy = bb.height() / static_cast<double>(ny);
+
+        std::map<std::pair<long, long>, std::size_t> cell_index;
+        for (long iy = 0; iy < ny; ++iy) {
+            for (long ix = 0; ix < nx; ++ix) {
+                const Point2 c{bb.x0 + (ix + 0.5) * dx, bb.y0 + (iy + 0.5) * dy};
+                if (!shape.outline.contains(c)) continue;
+                bool in_hole = false;
+                for (const Polygon& h : shape.holes)
+                    if (h.contains(c)) {
+                        in_hole = true;
+                        break;
+                    }
+                if (in_hole) continue;
+                MeshNode node;
+                node.center = c;
+                node.dx = dx;
+                node.dy = dy;
+                node.z = shape.z;
+                node.shape = s;
+                cell_index[{ix, iy}] = nodes_.size();
+                nodes_.push_back(node);
+            }
+        }
+        PGSI_REQUIRE(!cell_index.empty(),
+                     "RectMesh: shape '" + shape.name + "' produced no cells");
+
+        // Branches between 4-adjacent cells of this shape.
+        for (const auto& [key, n1] : cell_index) {
+            const auto [ix, iy] = key;
+            const MeshNode& a = nodes_[n1];
+            if (auto it = cell_index.find({ix + 1, iy}); it != cell_index.end()) {
+                const MeshNode& b = nodes_[it->second];
+                MeshBranch br;
+                br.n1 = n1;
+                br.n2 = it->second;
+                br.dir = BranchDir::X;
+                br.x0 = a.center.x;
+                br.x1 = b.center.x;
+                br.y0 = a.center.y - 0.5 * dy;
+                br.y1 = a.center.y + 0.5 * dy;
+                br.z = shape.z;
+                br.shape = s;
+                branches_.push_back(br);
+            }
+            if (auto it = cell_index.find({ix, iy + 1}); it != cell_index.end()) {
+                const MeshNode& b = nodes_[it->second];
+                MeshBranch br;
+                br.n1 = n1;
+                br.n2 = it->second;
+                br.dir = BranchDir::Y;
+                br.x0 = a.center.x - 0.5 * dx;
+                br.x1 = a.center.x + 0.5 * dx;
+                br.y0 = a.center.y;
+                br.y1 = b.center.y;
+                br.z = shape.z;
+                br.shape = s;
+                branches_.push_back(br);
+            }
+        }
+    }
+}
+
+void RectMesh::label_components() {
+    component_.assign(nodes_.size(), std::numeric_limits<std::size_t>::max());
+    std::vector<std::vector<std::size_t>> adj(nodes_.size());
+    for (const MeshBranch& b : branches_) {
+        adj[b.n1].push_back(b.n2);
+        adj[b.n2].push_back(b.n1);
+    }
+    component_count_ = 0;
+    for (std::size_t start = 0; start < nodes_.size(); ++start) {
+        if (component_[start] != std::numeric_limits<std::size_t>::max()) continue;
+        std::queue<std::size_t> q;
+        q.push(start);
+        component_[start] = component_count_;
+        while (!q.empty()) {
+            const std::size_t u = q.front();
+            q.pop();
+            for (std::size_t v : adj[u]) {
+                if (component_[v] == std::numeric_limits<std::size_t>::max()) {
+                    component_[v] = component_count_;
+                    q.push(v);
+                }
+            }
+        }
+        ++component_count_;
+    }
+}
+
+std::size_t RectMesh::nearest_node(Point2 p, std::size_t shape) const {
+    PGSI_REQUIRE(shape < shapes_.size(), "nearest_node: shape index out of range");
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].shape != shape) continue;
+        const double d = distance(nodes_[i].center, p);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    PGSI_ASSERT(best != std::numeric_limits<std::size_t>::max());
+    return best;
+}
+
+std::size_t RectMesh::nearest_node_any(Point2 p) const {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const double d = distance(nodes_[i].center, p);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace pgsi

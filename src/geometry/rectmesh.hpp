@@ -1,0 +1,97 @@
+// Rectangular surface mesh of arbitrary plane shapes (§3.2).
+//
+// Each conductor shape (a polygon with optional holes, at a given height z
+// above the reference plane) is discretized on a uniform grid: every grid
+// cell whose center lies inside the shape becomes a *charge cell* — a node of
+// the discrete system carrying pulse-basis charge and potential. Every pair
+// of 4-adjacent cells is connected by a *current cell* (branch): a rectangle
+// spanning the two cell centers with the full cell width, carrying a uniform
+// current along x or y. This is exactly the subsectional basis of the paper's
+// boundary-element discretization (pulse charge/potential, bilinear-continuity
+// current), realized in its standard PEEC form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace pgsi {
+
+/// One conductor shape to be meshed: a polygon (with holes) at height z.
+struct ConductorShape {
+    Polygon outline;              ///< outer boundary
+    std::vector<Polygon> holes;   ///< cutouts / antipads
+    double z = 0;                 ///< height above the reference plane [m]
+    double sheet_resistance = 0;  ///< DC sheet resistance [ohm/square]
+    std::string name;             ///< net name (informational)
+};
+
+/// Direction of a current cell.
+enum class BranchDir { X, Y };
+
+/// A node of the mesh: one rectangular charge cell.
+struct MeshNode {
+    Point2 center;       ///< cell center
+    double dx = 0;       ///< cell width in x [m]
+    double dy = 0;       ///< cell width in y [m]
+    double z = 0;        ///< conductor height [m]
+    std::size_t shape = 0; ///< index of the owning ConductorShape
+};
+
+/// A branch of the mesh: one rectangular current cell between two adjacent
+/// charge cells.
+struct MeshBranch {
+    std::size_t n1 = 0;  ///< tail node (current flows n1 -> n2 when positive)
+    std::size_t n2 = 0;  ///< head node
+    BranchDir dir = BranchDir::X;
+    // Rectangle occupied by the current cell:
+    double x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+    double z = 0;
+    std::size_t shape = 0;
+
+    double length() const { return dir == BranchDir::X ? x1 - x0 : y1 - y0; }
+    double width() const { return dir == BranchDir::X ? y1 - y0 : x1 - x0; }
+};
+
+/// Uniform rectangular mesh over one or more conductor shapes.
+class RectMesh {
+public:
+    /// Mesh the given shapes with the given grid pitch [m]. Every shape gets
+    /// its own grid anchored at its bounding-box corner. Throws if any shape
+    /// produces no cells (pitch too coarse).
+    RectMesh(std::vector<ConductorShape> shapes, double pitch);
+
+    const std::vector<MeshNode>& nodes() const { return nodes_; }
+    const std::vector<MeshBranch>& branches() const { return branches_; }
+    const std::vector<ConductorShape>& shapes() const { return shapes_; }
+    double pitch() const { return pitch_; }
+
+    std::size_t node_count() const { return nodes_.size(); }
+    std::size_t branch_count() const { return branches_.size(); }
+
+    /// Index of the mesh node nearest to point p on the given shape.
+    std::size_t nearest_node(Point2 p, std::size_t shape = 0) const;
+
+    /// Index of the mesh node nearest to p across all shapes.
+    std::size_t nearest_node_any(Point2 p) const;
+
+    /// Connected-component label of every node (components are connected via
+    /// branches only; two split planes yield two components).
+    const std::vector<std::size_t>& component_of() const { return component_; }
+    std::size_t component_count() const { return component_count_; }
+
+private:
+    std::vector<ConductorShape> shapes_;
+    double pitch_;
+    std::vector<MeshNode> nodes_;
+    std::vector<MeshBranch> branches_;
+    std::vector<std::size_t> component_;
+    std::size_t component_count_ = 0;
+
+    void build();
+    void label_components();
+};
+
+} // namespace pgsi

@@ -1,0 +1,35 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<VectorD>& columns) {
+    PGSI_REQUIRE(headers.size() == columns.size(),
+                 "write_csv: header/column count mismatch");
+    PGSI_REQUIRE(!columns.empty(), "write_csv: no columns");
+    const std::size_t rows = columns.front().size();
+    for (const VectorD& c : columns)
+        PGSI_REQUIRE(c.size() == rows, "write_csv: ragged columns");
+
+    os.precision(9);
+    for (std::size_t h = 0; h < headers.size(); ++h)
+        os << headers[h] << (h + 1 < headers.size() ? "," : "\n");
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            os << columns[c][r] << (c + 1 < columns.size() ? "," : "\n");
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& headers,
+                    const std::vector<VectorD>& columns) {
+    std::ofstream f(path);
+    PGSI_REQUIRE(f.good(), "write_csv_file: cannot open '" + path + "'");
+    write_csv(f, headers, columns);
+}
+
+} // namespace pgsi

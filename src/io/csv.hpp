@@ -1,0 +1,22 @@
+// CSV output for waveforms and sweep results, so benches and examples can
+// dump the series behind every reproduced figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Write columns of equal length with a header row. Throws on ragged data.
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<VectorD>& columns);
+
+/// Convenience: write to a file path.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& headers,
+                    const std::vector<VectorD>& columns);
+
+} // namespace pgsi

@@ -1,0 +1,195 @@
+#include "io/touchstone.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <complex>
+#include <fstream>
+#include <sstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+void write_touchstone(std::ostream& os, const VectorD& freqs_hz,
+                      const std::vector<MatrixC>& s, double z0) {
+    PGSI_REQUIRE(freqs_hz.size() == s.size(),
+                 "write_touchstone: frequency/matrix count mismatch");
+    PGSI_REQUIRE(!s.empty(), "write_touchstone: empty sweep");
+    const std::size_t n = s.front().rows();
+    for (const MatrixC& m : s)
+        PGSI_REQUIRE(m.rows() == n && m.cols() == n,
+                     "write_touchstone: inconsistent matrix sizes");
+
+    os << "! pgsi S-parameter export, " << n << " ports\n";
+    os << "# Hz S RI R " << z0 << "\n";
+    os.precision(12);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        os << freqs_hz[i];
+        // Touchstone orders row-major for n >= 3; 2-port uses column-major
+        // (S11 S21 S12 S22).
+        if (n == 2) {
+            const MatrixC& m = s[i];
+            os << " " << m(0, 0).real() << " " << m(0, 0).imag();
+            os << " " << m(1, 0).real() << " " << m(1, 0).imag();
+            os << " " << m(0, 1).real() << " " << m(0, 1).imag();
+            os << " " << m(1, 1).real() << " " << m(1, 1).imag();
+        } else {
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t c = 0; c < n; ++c)
+                    os << " " << s[i](r, c).real() << " " << s[i](r, c).imag();
+        }
+        os << "\n";
+    }
+}
+
+void write_touchstone_file(const std::string& path, const VectorD& freqs_hz,
+                           const std::vector<MatrixC>& s, double z0) {
+    std::ofstream f(path);
+    PGSI_REQUIRE(f.good(), "write_touchstone_file: cannot open '" + path + "'");
+    write_touchstone(f, freqs_hz, s, z0);
+}
+
+namespace {
+
+enum class TsFormat { Ri, Ma, Db };
+
+std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+Complex decode_pair(double a, double b, TsFormat fmt) {
+    switch (fmt) {
+        case TsFormat::Ri:
+            return Complex(a, b);
+        case TsFormat::Ma:
+            return std::polar(a, b * 3.14159265358979323846 / 180.0);
+        case TsFormat::Db:
+            return std::polar(std::pow(10.0, a / 20.0),
+                              b * 3.14159265358979323846 / 180.0);
+    }
+    return {};
+}
+
+} // namespace
+
+TouchstoneData read_touchstone(const std::string& text, std::size_t ports) {
+    TouchstoneData out;
+    double funit = 1e9; // Touchstone default is GHz
+    TsFormat fmt = TsFormat::Ma;
+
+    std::istringstream is(text);
+    std::string line;
+    std::vector<double> numbers; // pending values of the current record
+    std::size_t record_len = 0;  // 1 + 2*n^2 once the port count is known
+
+    auto flush_record = [&]() {
+        const std::size_t n = ports;
+        MatrixC s(n, n);
+        std::size_t k = 1;
+        if (n == 2) {
+            // 2-port files are column-major: S11 S21 S12 S22.
+            s(0, 0) = decode_pair(numbers[k], numbers[k + 1], fmt);
+            s(1, 0) = decode_pair(numbers[k + 2], numbers[k + 3], fmt);
+            s(0, 1) = decode_pair(numbers[k + 4], numbers[k + 5], fmt);
+            s(1, 1) = decode_pair(numbers[k + 6], numbers[k + 7], fmt);
+        } else {
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t c = 0; c < n; ++c, k += 2)
+                    s(r, c) = decode_pair(numbers[k], numbers[k + 1], fmt);
+        }
+        out.freqs_hz.push_back(numbers[0] * funit);
+        out.s.push_back(std::move(s));
+        numbers.clear();
+    };
+
+    while (std::getline(is, line)) {
+        // Strip '!' comments.
+        const std::size_t bang = line.find('!');
+        if (bang != std::string::npos) line.resize(bang);
+        std::istringstream ls(line);
+        std::string first;
+        if (!(ls >> first)) continue;
+
+        if (first == "#") {
+            std::string tok;
+            while (ls >> tok) {
+                const std::string t = lower(tok);
+                if (t == "hz") funit = 1.0;
+                else if (t == "khz") funit = 1e3;
+                else if (t == "mhz") funit = 1e6;
+                else if (t == "ghz") funit = 1e9;
+                else if (t == "ri") fmt = TsFormat::Ri;
+                else if (t == "ma") fmt = TsFormat::Ma;
+                else if (t == "db") fmt = TsFormat::Db;
+                else if (t == "s") { /* parameter type */ }
+                else if (t == "r") {
+                    if (ls >> tok) out.z0 = std::stod(tok);
+                } else {
+                    throw InvalidArgument("read_touchstone: bad option '" +
+                                          tok + "'");
+                }
+            }
+            continue;
+        }
+
+        // Data line: `first` plus the remaining numbers.
+        std::vector<double> vals;
+        try {
+            vals.push_back(std::stod(first));
+            std::string tok;
+            while (ls >> tok) vals.push_back(std::stod(tok));
+        } catch (const std::exception&) {
+            throw InvalidArgument("read_touchstone: bad data line '" + line +
+                                  "'");
+        }
+
+        if (record_len == 0) {
+            if (ports == 0) {
+                // Infer from the first (complete) record.
+                const std::size_t pairs = vals.size() - 1;
+                const auto n = static_cast<std::size_t>(
+                    std::lround(std::sqrt(pairs / 2.0)));
+                PGSI_REQUIRE(n >= 1 && 2 * n * n == pairs,
+                             "read_touchstone: cannot infer port count; pass "
+                             "it explicitly");
+                ports = n;
+            }
+            record_len = 1 + 2 * ports * ports;
+        }
+        numbers.insert(numbers.end(), vals.begin(), vals.end());
+        while (numbers.size() >= record_len) {
+            std::vector<double> rest(numbers.begin() + record_len, numbers.end());
+            numbers.resize(record_len);
+            flush_record();
+            numbers = std::move(rest);
+        }
+    }
+    PGSI_REQUIRE(numbers.empty(), "read_touchstone: truncated final record");
+    PGSI_REQUIRE(!out.s.empty(), "read_touchstone: no data records");
+    return out;
+}
+
+TouchstoneData load_touchstone_file(const std::string& path) {
+    std::ifstream f(path);
+    PGSI_REQUIRE(f.good(), "load_touchstone_file: cannot open '" + path + "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    // Infer the port count from a ".sNp" extension when present.
+    std::size_t ports = 0;
+    const std::size_t dot = path.rfind('.');
+    if (dot != std::string::npos) {
+        const std::string ext = lower(path.substr(dot + 1));
+        if (ext.size() >= 3 && ext.front() == 's' && ext.back() == 'p') {
+            try {
+                ports = std::stoul(ext.substr(1, ext.size() - 2));
+            } catch (const std::exception&) {
+                ports = 0;
+            }
+        }
+    }
+    return read_touchstone(os.str(), ports);
+}
+
+} // namespace pgsi

@@ -1,0 +1,38 @@
+// Touchstone (.sNp) writer for S-parameter sweeps — the interchange format
+// used for the frequency-domain verification data of §6.1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Write an S-parameter sweep in Touchstone format (Hz, real/imaginary,
+/// reference z0). s[i] must be an n×n matrix matching freqs_hz[i].
+void write_touchstone(std::ostream& os, const VectorD& freqs_hz,
+                      const std::vector<MatrixC>& s, double z0 = 50.0);
+
+/// Convenience: write to a file path.
+void write_touchstone_file(const std::string& path, const VectorD& freqs_hz,
+                           const std::vector<MatrixC>& s, double z0 = 50.0);
+
+/// Parsed Touchstone sweep.
+struct TouchstoneData {
+    VectorD freqs_hz;
+    std::vector<MatrixC> s;
+    double z0 = 50.0;
+};
+
+/// Parse Touchstone text. Handles Hz/kHz/MHz/GHz frequency units, RI/MA/DB
+/// data formats and wrapped data lines. `ports` fixes the port count; pass 0
+/// to infer it from the first data record (requires the record on one line).
+TouchstoneData read_touchstone(const std::string& text, std::size_t ports = 0);
+
+/// Load from a file path; the port count is inferred from the .sNp extension
+/// when possible, else from the data.
+TouchstoneData load_touchstone_file(const std::string& path);
+
+} // namespace pgsi

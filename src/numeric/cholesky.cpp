@@ -1,0 +1,73 @@
+#include "numeric/cholesky.hpp"
+
+#include <cmath>
+
+namespace pgsi {
+
+Cholesky::Cholesky(const MatrixD& a) : g_(a.rows(), a.cols()) {
+    PGSI_REQUIRE(a.square(), "Cholesky requires a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) d -= g_(j, k) * g_(j, k);
+        if (d <= 0.0)
+            throw NumericalError("Cholesky: matrix not positive definite at row " +
+                                 std::to_string(j));
+        const double gjj = std::sqrt(d);
+        g_(j, j) = gjj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            const double* gi = g_.row(i);
+            const double* gj = g_.row(j);
+            for (std::size_t k = 0; k < j; ++k) s -= gi[k] * gj[k];
+            g_(i, j) = s / gjj;
+        }
+    }
+}
+
+VectorD Cholesky::solve(const VectorD& b) const {
+    const std::size_t n = g_.rows();
+    PGSI_REQUIRE(b.size() == n, "Cholesky solve: rhs size mismatch");
+    VectorD y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        const double* row = g_.row(i);
+        for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y[j];
+        y[i] = acc / row[i];
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= g_(j, ii) * y[j];
+        y[ii] = acc / g_(ii, ii);
+    }
+    return y;
+}
+
+MatrixD Cholesky::solve(const MatrixD& b) const {
+    const std::size_t n = g_.rows();
+    PGSI_REQUIRE(b.rows() == n, "Cholesky solve: rhs row count mismatch");
+    MatrixD x(n, b.cols());
+    VectorD col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
+        const VectorD sol = solve(col);
+        for (std::size_t i = 0; i < n; ++i) x(i, c) = sol[i];
+    }
+    return x;
+}
+
+MatrixD Cholesky::inverse() const {
+    return solve(MatrixD::identity(g_.rows()));
+}
+
+bool is_spd(const MatrixD& a) {
+    if (!a.square()) return false;
+    try {
+        Cholesky c(a);
+        return true;
+    } catch (const NumericalError&) {
+        return false;
+    }
+}
+
+} // namespace pgsi

@@ -1,0 +1,41 @@
+// Cholesky factorization for symmetric positive-definite matrices.
+//
+// The partial-inductance and potential-coefficient matrices of the plane BEM
+// are SPD by construction (energy matrices of a passive structure); Cholesky
+// both halves the factorization cost and acts as a passivity check — a failed
+// factorization flags a broken Green's-function evaluation long before it
+// could surface as a non-physical extracted circuit.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Cholesky factorization A = G G^T of a symmetric positive-definite matrix.
+class Cholesky {
+public:
+    /// Factor a. Throws NumericalError if a is not positive definite.
+    explicit Cholesky(const MatrixD& a);
+
+    /// Solve A x = b.
+    VectorD solve(const VectorD& b) const;
+
+    /// Solve A X = B column by column.
+    MatrixD solve(const MatrixD& b) const;
+
+    /// Dense inverse of A.
+    MatrixD inverse() const;
+
+    /// Lower-triangular factor G.
+    const MatrixD& factor() const { return g_; }
+
+    std::size_t size() const { return g_.rows(); }
+
+private:
+    MatrixD g_; // lower triangular
+};
+
+/// True if a is symmetric positive definite (attempts a Cholesky factorization).
+bool is_spd(const MatrixD& a);
+
+} // namespace pgsi

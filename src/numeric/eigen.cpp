@@ -1,0 +1,206 @@
+#include "numeric/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/cholesky.hpp"
+
+namespace pgsi {
+
+SymmetricEigen eigen_symmetric(const MatrixD& a_in, double tol, int max_sweeps) {
+    PGSI_REQUIRE(a_in.square(), "eigen_symmetric requires a square matrix");
+    PGSI_REQUIRE(a_in.asymmetry() <= 1e-8 * (1.0 + a_in.max_abs()),
+                 "eigen_symmetric requires a symmetric matrix");
+    const std::size_t n = a_in.rows();
+    MatrixD a = a_in;
+    MatrixD v = MatrixD::identity(n);
+    const double scale = std::max(a.max_abs(), 1e-300);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) off = std::max(off, std::abs(a(i, j)));
+        if (off <= tol * scale) {
+            SymmetricEigen res;
+            res.values.resize(n);
+            std::vector<std::size_t> order(n);
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t x, std::size_t y) { return a(x, x) < a(y, y); });
+            res.vectors = MatrixD(n, n);
+            for (std::size_t k = 0; k < n; ++k) {
+                res.values[k] = a(order[k], order[k]);
+                for (std::size_t i = 0; i < n; ++i) res.vectors(i, k) = v(i, order[k]);
+            }
+            return res;
+        }
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::abs(apq) <= 0.1 * tol * scale) continue;
+                const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p), akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k), aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    throw NumericalError("eigen_symmetric: Jacobi sweeps did not converge");
+}
+
+ProductEigen eigen_spd_product(const MatrixD& l, const MatrixD& c) {
+    PGSI_REQUIRE(l.square() && c.square() && l.rows() == c.rows(),
+                 "eigen_spd_product: L and C must be square and equally sized");
+    // L = G G^T; L*C is similar to the symmetric matrix G^T C G:
+    //   (L C) (G x) = G (G^T C G) x, so eigenvectors of L C are G x.
+    const Cholesky chol(l);
+    const MatrixD& g = chol.factor();
+    const MatrixD m = g.transposed() * c * g;
+    SymmetricEigen se = eigen_symmetric(m);
+
+    ProductEigen res;
+    res.values = se.values;
+    res.t = g * se.vectors;
+    // Normalize each column to unit Euclidean length for a well-conditioned
+    // modal transform.
+    const std::size_t n = res.t.rows();
+    for (std::size_t k = 0; k < n; ++k) {
+        PGSI_REQUIRE(res.values[k] > 0, "eigen_spd_product: non-positive eigenvalue");
+        double s = 0;
+        for (std::size_t i = 0; i < n; ++i) s += res.t(i, k) * res.t(i, k);
+        s = std::sqrt(s);
+        for (std::size_t i = 0; i < n; ++i) res.t(i, k) /= s;
+    }
+    return res;
+}
+
+namespace {
+
+// Complex Householder reduction to upper Hessenberg form (in place).
+void hessenberg(MatrixC& a) {
+    const std::size_t n = a.rows();
+    for (std::size_t k = 0; k + 2 < n; ++k) {
+        // Householder vector for column k, rows k+1..n-1.
+        double norm = 0;
+        for (std::size_t i = k + 1; i < n; ++i) norm += std::norm(a(i, k));
+        norm = std::sqrt(norm);
+        if (norm < 1e-300) continue;
+        const Complex x0 = a(k + 1, k);
+        const double ax0 = std::abs(x0);
+        const Complex phase = ax0 > 0 ? x0 / ax0 : Complex(1, 0);
+        const Complex alpha = -phase * norm;
+        VectorC v(n, Complex{});
+        v[k + 1] = x0 - alpha;
+        for (std::size_t i = k + 2; i < n; ++i) v[i] = a(i, k);
+        double vnorm2 = 0;
+        for (std::size_t i = k + 1; i < n; ++i) vnorm2 += std::norm(v[i]);
+        if (vnorm2 < 1e-300) continue;
+        // A <- (I - 2 v v^H / |v|^2) A
+        for (std::size_t j = 0; j < n; ++j) {
+            Complex s{};
+            for (std::size_t i = k + 1; i < n; ++i)
+                s += std::conj(v[i]) * a(i, j);
+            s *= 2.0 / vnorm2;
+            for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= v[i] * s;
+        }
+        // A <- A (I - 2 v v^H / |v|^2)
+        for (std::size_t i = 0; i < n; ++i) {
+            Complex s{};
+            for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
+            s *= 2.0 / vnorm2;
+            for (std::size_t j = k + 1; j < n; ++j)
+                a(i, j) -= s * std::conj(v[j]);
+        }
+    }
+}
+
+} // namespace
+
+VectorC eigenvalues_general(MatrixC a, int max_iterations) {
+    PGSI_REQUIRE(a.square(), "eigenvalues_general: matrix must be square");
+    const std::size_t n = a.rows();
+    if (n == 0) return {};
+    if (n == 1) return {a(0, 0)};
+    hessenberg(a);
+
+    VectorC eig;
+    eig.reserve(n);
+    std::size_t m = n; // active block is rows/cols [0, m)
+    const double scale = std::max(a.max_abs(), 1e-300);
+    int iter = 0;
+    while (m > 0) {
+        if (m == 1) {
+            eig.push_back(a(0, 0));
+            break;
+        }
+        // Deflate converged subdiagonals at the bottom of the block.
+        if (std::abs(a(m - 1, m - 2)) <
+            1e-14 * (std::abs(a(m - 1, m - 1)) + std::abs(a(m - 2, m - 2)) +
+                     scale * 1e-2)) {
+            eig.push_back(a(m - 1, m - 1));
+            --m;
+            continue;
+        }
+        if (++iter > max_iterations)
+            throw NumericalError("eigenvalues_general: QR iteration stalled");
+
+        // Wilkinson shift from the trailing 2x2 of the active block.
+        const Complex h00 = a(m - 2, m - 2), h01 = a(m - 2, m - 1);
+        const Complex h10 = a(m - 1, m - 2), h11 = a(m - 1, m - 1);
+        const Complex tr = h00 + h11;
+        const Complex det = h00 * h11 - h01 * h10;
+        const Complex disc = std::sqrt(tr * tr - 4.0 * det);
+        const Complex mu1 = 0.5 * (tr + disc), mu2 = 0.5 * (tr - disc);
+        const Complex mu =
+            std::abs(mu1 - h11) < std::abs(mu2 - h11) ? mu1 : mu2;
+
+        // One shifted QR sweep via Givens rotations on the Hessenberg block.
+        std::vector<Complex> cs(m - 1), sn(m - 1);
+        for (std::size_t k = 0; k < m; ++k) a(k, k) -= mu;
+        for (std::size_t k = 0; k + 1 < m; ++k) {
+            const Complex f = a(k, k), g = a(k + 1, k);
+            const double r = std::sqrt(std::norm(f) + std::norm(g));
+            if (r < 1e-300) {
+                cs[k] = Complex(1, 0);
+                sn[k] = Complex(0, 0);
+                continue;
+            }
+            cs[k] = f / r;
+            sn[k] = g / r;
+            for (std::size_t j = k; j < m; ++j) {
+                const Complex t1 = a(k, j), t2 = a(k + 1, j);
+                a(k, j) = std::conj(cs[k]) * t1 + std::conj(sn[k]) * t2;
+                a(k + 1, j) = -sn[k] * t1 + cs[k] * t2;
+            }
+        }
+        for (std::size_t k = 0; k + 1 < m; ++k) {
+            const std::size_t hi = std::min(m, k + 3);
+            for (std::size_t i = 0; i < hi; ++i) {
+                const Complex t1 = a(i, k), t2 = a(i, k + 1);
+                a(i, k) = t1 * cs[k] + t2 * sn[k];
+                a(i, k + 1) = -t1 * std::conj(sn[k]) + t2 * std::conj(cs[k]);
+            }
+        }
+        for (std::size_t k = 0; k < m; ++k) a(k, k) += mu;
+    }
+    return eig;
+}
+
+} // namespace pgsi

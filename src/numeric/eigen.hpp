@@ -1,0 +1,39 @@
+// Symmetric eigenproblems via the cyclic Jacobi rotation method, plus the
+// generalized transform used by multiconductor transmission-line modal
+// analysis (§5.2): the eigenstructure of the L·C product is obtained from the
+// symmetric matrix G^T C G where L = G G^T.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEigen {
+    VectorD values;   ///< eigenvalues, ascending
+    MatrixD vectors;  ///< column i is the eigenvector for values[i]
+};
+
+/// Eigendecomposition of a symmetric matrix using cyclic Jacobi rotations.
+/// Throws NumericalError if the sweep limit is exceeded (does not happen for
+/// well-formed symmetric input).
+SymmetricEigen eigen_symmetric(const MatrixD& a, double tol = 1e-13,
+                               int max_sweeps = 64);
+
+/// Eigenstructure of the (generally non-symmetric) product L*C where both
+/// L and C are SPD: returns eigenvalues (all positive) and the eigenvector
+/// matrix T with L*C*T = T*diag(w). Used for quasi-TEM modal decomposition,
+/// where 1/sqrt(w_i) are the modal phase velocities.
+struct ProductEigen {
+    VectorD values;  ///< eigenvalues of L*C, ascending, all > 0
+    MatrixD t;       ///< columns: eigenvectors of L*C (voltage modal matrix)
+};
+ProductEigen eigen_spd_product(const MatrixD& l, const MatrixD& c);
+
+/// Eigenvalues of a general (non-symmetric) complex matrix via Hessenberg
+/// reduction and the shifted QR iteration with deflation. Intended for the
+/// small pole-relocation matrices of vector fitting (n ≲ 50). Throws
+/// NumericalError if the iteration stalls.
+VectorC eigenvalues_general(MatrixC a, int max_iterations = 2000);
+
+} // namespace pgsi

@@ -1,0 +1,59 @@
+#include "numeric/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+PiecewiseLinear::PiecewiseLinear(VectorD t, VectorD v)
+    : t_(std::move(t)), v_(std::move(v)) {
+    PGSI_REQUIRE(t_.size() == v_.size(), "PiecewiseLinear: size mismatch");
+    for (std::size_t i = 1; i < t_.size(); ++i)
+        PGSI_REQUIRE(t_[i] > t_[i - 1], "PiecewiseLinear: abscissae must increase");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+    PGSI_REQUIRE(!t_.empty(), "PiecewiseLinear: empty function");
+    if (x <= t_.front()) return v_.front();
+    if (x >= t_.back()) return v_.back();
+    const auto it = std::upper_bound(t_.begin(), t_.end(), x);
+    const std::size_t i = static_cast<std::size_t>(it - t_.begin());
+    const double f = (x - t_[i - 1]) / (t_[i] - t_[i - 1]);
+    return v_[i - 1] + f * (v_[i] - v_[i - 1]);
+}
+
+double PiecewiseLinear::slope(double x) const {
+    PGSI_REQUIRE(!t_.empty(), "PiecewiseLinear: empty function");
+    if (t_.size() < 2 || x <= t_.front() || x >= t_.back()) return 0.0;
+    const auto it = std::upper_bound(t_.begin(), t_.end(), x);
+    const std::size_t i = static_cast<std::size_t>(it - t_.begin());
+    return (v_[i] - v_[i - 1]) / (t_[i] - t_[i - 1]);
+}
+
+DelayLine::DelayLine(double dt, double max_delay, double initial_value) : dt_(dt) {
+    PGSI_REQUIRE(dt > 0, "DelayLine: dt must be positive");
+    PGSI_REQUIRE(max_delay >= 0, "DelayLine: max_delay must be non-negative");
+    capacity_ = static_cast<std::size_t>(std::ceil(max_delay / dt)) + 2;
+    samples_.assign(capacity_, initial_value);
+}
+
+void DelayLine::push(double v) {
+    samples_.push_back(v);
+    if (samples_.size() > capacity_) samples_.pop_front();
+}
+
+double DelayLine::value_before_last(double delay) const {
+    PGSI_REQUIRE(delay >= 0, "DelayLine: delay must be non-negative");
+    const double steps = delay / dt_;
+    const auto k = static_cast<std::size_t>(steps);
+    const double frac = steps - static_cast<double>(k);
+    const std::size_t last = samples_.size() - 1;
+    PGSI_REQUIRE(k + 1 <= last, "DelayLine: delay exceeds capacity");
+    const double newer = samples_[last - k];
+    const double older = samples_[last - k - 1];
+    return newer + frac * (older - newer);
+}
+
+} // namespace pgsi

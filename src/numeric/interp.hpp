@@ -1,0 +1,60 @@
+// Sampled-waveform utilities: linear interpolation and a delay line.
+//
+// The method-of-characteristics transmission-line model (§5.2) needs the
+// incident wave a propagation delay in the past; with a uniform simulator
+// time step the delay generally falls between samples, so the history is
+// linearly interpolated.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Piecewise-linear function defined by sorted sample points (t, v).
+/// Evaluation clamps outside the sample range.
+class PiecewiseLinear {
+public:
+    PiecewiseLinear() = default;
+    /// Construct from sorted abscissae t (strictly increasing) and values v.
+    PiecewiseLinear(VectorD t, VectorD v);
+
+    /// Value at time x (clamped to the end values outside the range).
+    double operator()(double x) const;
+
+    /// Local slope dv/dx at x (0 outside the sample range, where the value
+    /// is clamped).
+    double slope(double x) const;
+
+    bool empty() const { return t_.empty(); }
+    const VectorD& abscissae() const { return t_; }
+    const VectorD& values() const { return v_; }
+
+private:
+    VectorD t_, v_;
+};
+
+/// Fixed-rate delay line: push one sample per time step, read values an
+/// arbitrary (non-integer) number of steps in the past with linear
+/// interpolation. Values older than the capacity are discarded.
+class DelayLine {
+public:
+    /// dt: sample spacing; max_delay: maximum look-back supported.
+    DelayLine(double dt, double max_delay, double initial_value = 0.0);
+
+    /// Append the sample for the current time step.
+    void push(double v);
+
+    /// Value `delay` seconds before the most recent pushed sample.
+    /// delay must be in [0, max_delay].
+    double value_before_last(double delay) const;
+
+private:
+    double dt_;
+    std::size_t capacity_;
+    std::deque<double> samples_; // front = oldest
+};
+
+} // namespace pgsi

@@ -1,0 +1,96 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+
+namespace pgsi {
+
+template <class T>
+Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
+    PGSI_REQUIRE(lu_.square(), "LU requires a square matrix");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at or below the diagonal.
+        std::size_t p = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu_(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best == 0.0)
+            throw NumericalError("LU: matrix is singular (zero pivot column " +
+                                 std::to_string(k) + ")");
+        if (p != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+            std::swap(perm_[k], perm_[p]);
+            sign_ = -sign_;
+        }
+        const T pivot = lu_(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const T m = lu_(i, k) / pivot;
+            lu_(i, k) = m;
+            if (m == T{}) continue;
+            const T* urow = lu_.row(k);
+            T* irow = lu_.row(i);
+            for (std::size_t j = k + 1; j < n; ++j) irow[j] -= m * urow[j];
+        }
+    }
+}
+
+template <class T>
+std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    PGSI_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+    std::vector<T> x(n);
+    // Apply permutation and forward-substitute L y = P b.
+    for (std::size_t i = 0; i < n; ++i) {
+        T acc = b[perm_[i]];
+        const T* row = lu_.row(i);
+        for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+        x[i] = acc;
+    }
+    // Back-substitute U x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+        T acc = x[ii];
+        const T* row = lu_.row(ii);
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+        x[ii] = acc / row[ii];
+    }
+    return x;
+}
+
+template <class T>
+Matrix<T> Lu<T>::solve(const Matrix<T>& b) const {
+    const std::size_t n = lu_.rows();
+    PGSI_REQUIRE(b.rows() == n, "LU solve: rhs row count mismatch");
+    Matrix<T> x(n, b.cols());
+    std::vector<T> col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
+        const std::vector<T> sol = solve(col);
+        for (std::size_t i = 0; i < n; ++i) x(i, c) = sol[i];
+    }
+    return x;
+}
+
+template <class T>
+Matrix<T> Lu<T>::inverse() const {
+    return solve(Matrix<T>::identity(lu_.rows()));
+}
+
+template <class T>
+T Lu<T>::determinant() const {
+    T d = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+    return d;
+}
+
+template class Lu<double>;
+template class Lu<Complex>;
+
+} // namespace pgsi

@@ -1,0 +1,77 @@
+#include "numeric/quadrature.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/constants.hpp"
+
+namespace pgsi {
+
+namespace {
+
+QuadratureRule compute_gauss_legendre(int n) {
+    QuadratureRule rule;
+    rule.nodes.resize(n);
+    rule.weights.resize(n);
+    // Newton iteration from the Chebyshev-like initial guess; standard
+    // Golub-Welsch-free construction adequate for n <= 16.
+    for (int i = 0; i < n; ++i) {
+        double x = std::cos(pi * (i + 0.75) / (n + 0.5));
+        double pp = 0.0;
+        for (int iter = 0; iter < 100; ++iter) {
+            // Evaluate P_n(x) and its derivative by recurrence.
+            double p0 = 1.0, p1 = x;
+            for (int k = 2; k <= n; ++k) {
+                const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+                p0 = p1;
+                p1 = p2;
+            }
+            pp = n * (x * p1 - p0) / (x * x - 1.0);
+            const double dx = p1 / pp;
+            x -= dx;
+            if (std::abs(dx) < 1e-15) break;
+        }
+        rule.nodes[i] = x;
+        rule.weights[i] = 2.0 / ((1.0 - x * x) * pp * pp);
+    }
+    return rule;
+}
+
+} // namespace
+
+const QuadratureRule& gauss_legendre(int n) {
+    PGSI_REQUIRE(n >= 1 && n <= 16, "gauss_legendre supports orders 1..16");
+    static std::map<int, QuadratureRule> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(n);
+    if (it == cache.end()) it = cache.emplace(n, compute_gauss_legendre(n)).first;
+    return it->second;
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b, int n) {
+    const QuadratureRule& rule = gauss_legendre(n);
+    const double mid = 0.5 * (a + b), half = 0.5 * (b - a);
+    double s = 0;
+    for (int i = 0; i < n; ++i) s += rule.weights[i] * f(mid + half * rule.nodes[i]);
+    return s * half;
+}
+
+double integrate2d(const std::function<double(double, double)>& f, double ax,
+                   double bx, double ay, double by, int n) {
+    const QuadratureRule& rule = gauss_legendre(n);
+    const double mx = 0.5 * (ax + bx), hx = 0.5 * (bx - ax);
+    const double my = 0.5 * (ay + by), hy = 0.5 * (by - ay);
+    double s = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = mx + hx * rule.nodes[i];
+        double row = 0;
+        for (int j = 0; j < n; ++j)
+            row += rule.weights[j] * f(x, my + hy * rule.nodes[j]);
+        s += rule.weights[i] * row;
+    }
+    return s * hx * hy;
+}
+
+} // namespace pgsi

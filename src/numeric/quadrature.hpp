@@ -1,0 +1,32 @@
+// Gauss-Legendre quadrature rules on [-1, 1] and helpers for 1-D / 2-D
+// integration over intervals and rectangles. Used by the Galerkin testing
+// procedure (§3.2) and by the partial-inductance cross integrals.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// A one-dimensional quadrature rule: sum_i w[i] * f(x[i]) integrates f over [-1,1].
+struct QuadratureRule {
+    VectorD nodes;
+    VectorD weights;
+};
+
+/// Gauss-Legendre rule with n points (1 <= n <= 16), exact for polynomials of
+/// degree 2n-1. Nodes are computed by Newton iteration on the Legendre
+/// polynomial and cached per order.
+const QuadratureRule& gauss_legendre(int n);
+
+/// Integrate f over [a, b] with an n-point Gauss rule.
+double integrate(const std::function<double(double)>& f, double a, double b, int n);
+
+/// Integrate f over the rectangle [ax,bx] x [ay,by] with an n x n tensor
+/// Gauss rule.
+double integrate2d(const std::function<double(double, double)>& f, double ax,
+                   double bx, double ay, double by, int n);
+
+} // namespace pgsi

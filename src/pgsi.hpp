@@ -1,0 +1,65 @@
+// Umbrella header: the full public API of the pgsi library.
+//
+// Fine-grained headers remain available (and are preferred in large builds);
+// this is the convenience include for examples, notebooks and quick tools:
+//
+//     #include "pgsi.hpp"
+//     using namespace pgsi;
+#pragma once
+
+// Substrate
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/eigen.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/quadrature.hpp"
+
+// Geometry and electromagnetic modeling (paper §3)
+#include "em/bem_plane.hpp"
+#include "em/cavity_model.hpp"
+#include "em/greens.hpp"
+#include "em/rectint.hpp"
+#include "em/solver.hpp"
+#include "em/surface_impedance.hpp"
+#include "em/via.hpp"
+#include "geometry/point2.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/rectmesh.hpp"
+
+// Equivalent-circuit extraction and macromodeling (paper §4)
+#include "extract/equivalent_circuit.hpp"
+#include "extract/peec_stamp.hpp"
+#include "extract/reduction.hpp"
+#include "extract/spice_export.hpp"
+#include "extract/vector_fit.hpp"
+
+// Circuit simulation (paper §5)
+#include "circuit/ac.hpp"
+#include "circuit/driver.hpp"
+#include "circuit/lossy_line.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/parser.hpp"
+#include "circuit/sources.hpp"
+#include "circuit/sparams.hpp"
+#include "circuit/tline.hpp"
+#include "circuit/transient.hpp"
+
+// Transmission-line extraction and the FDTD reference engine
+#include "fdtd/plane_fdtd.hpp"
+#include "tline2d/mtl_extract.hpp"
+
+// System-level signal integrity (paper §5.2, §6.2)
+#include "si/board.hpp"
+#include "si/board_file.hpp"
+#include "si/cosim.hpp"
+#include "si/decap_opt.hpp"
+#include "si/package.hpp"
+#include "si/ssn.hpp"
+
+// Interchange formats
+#include "io/csv.hpp"
+#include "io/touchstone.hpp"

@@ -1,0 +1,111 @@
+#include "si/board.hpp"
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+Board::Board(double width, double height, BoardStackup stackup, double vdd)
+    : width_(width), height_(height), stackup_(stackup), vdd_(vdd) {
+    PGSI_REQUIRE(width > 0 && height > 0, "Board: extents must be positive");
+    PGSI_REQUIRE(stackup_.plane_separation > 0,
+                 "Board: plane separation must be positive");
+    PGSI_REQUIRE(vdd > 0, "Board: vdd must be positive");
+}
+
+Board make_ssn_eval_board(int switching, double trise, double vdd) {
+    PGSI_REQUIRE(switching >= 0 && switching <= 16,
+                 "make_ssn_eval_board: 0..16 drivers can switch");
+    // 7 x 10 inch six-layer FR4 board, power/ground planes 30 mil apart.
+    BoardStackup st;
+    st.plane_separation = 30.0 * units::mil;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 0.6e-3;
+    Board board(7.0 * units::inch, 10.0 * units::inch, st, vdd);
+    board.set_vrm_location({0.5 * units::inch, 0.5 * units::inch});
+
+    // One chip (PQFP) near the board center; sixteen drivers with pins along
+    // the package edge on a 1.27 mm pitch.
+    const Point2 chip{3.5 * units::inch, 5.0 * units::inch};
+    for (int d = 0; d < 16; ++d) {
+        DriverSite s;
+        s.name = "drv" + std::to_string(d);
+        const double dx = (d - 7.5) * 1.27e-3;
+        s.vcc_pin = {chip.x + dx, chip.y + 8e-3};
+        s.gnd_pin = {chip.x + dx, chip.y - 8e-3};
+        s.driver.ron_up = 25.0;
+        s.driver.ron_dn = 20.0;
+        s.driver.c_out = 4e-12;
+        s.load_c = 30e-12;
+        if (d < switching) {
+            // Rising output: slew-limited logic waveform 0 -> 1.
+            s.driver.input =
+                Source::pulse(0.0, 1.0, 1e-9, trise, trise, 6e-9, 0.0);
+        } else {
+            s.driver.input = Source::dc(0.0);
+        }
+        board.add_driver_site(s);
+    }
+    return board;
+}
+
+Board make_postlayout_board(unsigned seed) {
+    // Four-layer board with a 10 mil plane pair, twenty-six chips,
+    // 55 Vcc + 80 Gnd pins total (§6.2 example 2).
+    BoardStackup st;
+    st.plane_separation = 10.0 * units::mil;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 0.6e-3;
+    const double w = 9.0 * units::inch, h = 6.0 * units::inch;
+    Board board(w, h, st, 5.0);
+    board.set_vrm_location({0.4 * units::inch, 0.4 * units::inch});
+
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ux(0.08 * w, 0.92 * w);
+    std::uniform_real_distribution<double> uy(0.08 * h, 0.92 * h);
+    std::uniform_real_distribution<double> uphase(0.0, 2e-9);
+    std::uniform_int_distribution<int> uload(10, 40);
+
+    constexpr int n_chips = 26;
+    constexpr int n_vcc = 55;   // one driver site per Vcc pin
+    constexpr int n_gnd = 80;   // 55 paired with sites + 25 stitching vias
+    std::vector<Point2> chip_pos;
+    for (int c = 0; c < n_chips; ++c) chip_pos.push_back({ux(rng), uy(rng)});
+
+    for (int p = 0; p < n_vcc; ++p) {
+        const int c = p % n_chips;
+        const int local = p / n_chips;
+        DriverSite s;
+        s.name = "u" + std::to_string(c) + "_d" + std::to_string(local);
+        const double dx = (local - 1) * 2.54e-3;
+        s.vcc_pin = {chip_pos[c].x + dx, chip_pos[c].y + 6e-3};
+        s.gnd_pin = {chip_pos[c].x + dx, chip_pos[c].y - 6e-3};
+        s.driver.ron_up = 22.0;
+        s.driver.ron_dn = 18.0;
+        s.driver.c_out = 4e-12;
+        s.load_c = uload(rng) * 1e-12;
+        // Roughly a third of the outputs switch in this event, with
+        // staggered starts.
+        if (p % 3 == 0)
+            s.driver.input = Source::pulse(0.0, 1.0, 1e-9 + uphase(rng), 0.8e-9,
+                                           0.8e-9, 6e-9, 0.0);
+        else
+            s.driver.input = Source::dc(0.0);
+        board.add_driver_site(s);
+    }
+    for (int g = 0; g < n_gnd - n_vcc; ++g)
+        board.add_gnd_stitch({ux(rng), uy(rng)});
+
+    // A modest stock decoupling population near the chips.
+    for (int c = 0; c < n_chips; c += 2) {
+        Decap d;
+        d.pos = {chip_pos[c].x + 9e-3, chip_pos[c].y};
+        d.c = 100e-9;
+        d.esr = 30e-3;
+        d.esl = 1.2e-9;
+        board.add_decap(d);
+    }
+    return board;
+}
+
+} // namespace pgsi

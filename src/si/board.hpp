@@ -1,0 +1,115 @@
+// Board-level system description (§5.2, Fig. 3): the power/ground plane
+// pair, the chips (driver sites with package parasitics), decoupling
+// capacitors, and the voltage-regulator connection. This is the input to the
+// integrated SSN co-simulation of si/cosim.hpp.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "circuit/driver.hpp"
+#include "geometry/polygon.hpp"
+#include "si/package.hpp"
+
+namespace pgsi {
+
+/// Power/ground plane-pair stackup.
+struct BoardStackup {
+    double plane_separation = 0; ///< dielectric thickness between planes [m]
+    double eps_r = 4.5;          ///< dielectric constant (FR4 default)
+    double sheet_resistance = 0.6e-3; ///< per plane [ohm/sq] (1 oz copper)
+};
+
+/// A surface-mount decoupling capacitor between the planes.
+struct Decap {
+    Point2 pos;          ///< board location
+    double c = 100e-9;   ///< capacitance [F]
+    double esr = 30e-3;  ///< equivalent series resistance [ohm]
+    double esl = 1e-9;   ///< equivalent series inductance (incl. mounting) [H]
+};
+
+/// One output driver with its package pins and load.
+struct DriverSite {
+    std::string name;
+    Point2 vcc_pin;      ///< power-pin location on the power plane
+    Point2 gnd_pin;      ///< ground-pin location on the ground plane
+    DriverParams driver; ///< behavioral output stage
+    PackagePin vcc_pkg = packages::pqfp;
+    PackagePin gnd_pkg = packages::pqfp;
+    double load_c = 15e-12; ///< lumped load at the driver output [F]
+};
+
+/// A point-to-point signal net: a transmission line from one driver's output
+/// to a receiver (§5.2's fourth subsystem). The line references the ground
+/// plane; keep the simulation time step below the line delay.
+struct SignalNet {
+    std::size_t driver_site = 0; ///< index into the driver-site list
+    double z0 = 50.0;            ///< characteristic impedance [ohm]
+    double delay = 1e-9;         ///< one-way delay [s]
+    double receiver_c = 5e-12;   ///< receiver input capacitance [F]
+    double term_r = 0;           ///< far-end parallel termination [ohm]; 0 = none
+};
+
+/// A digital board with one power/ground plane pair.
+class Board {
+public:
+    /// Rectangular planes width × height [m].
+    Board(double width, double height, BoardStackup stackup, double vdd = 5.0);
+
+    double width() const { return width_; }
+    double height() const { return height_; }
+    const BoardStackup& stackup() const { return stackup_; }
+    double vdd() const { return vdd_; }
+
+    /// Cutouts in the power plane (slots, clearouts).
+    void add_power_plane_cutout(const Polygon& hole) { cutouts_.push_back(hole); }
+    const std::vector<Polygon>& power_plane_cutouts() const { return cutouts_; }
+
+    /// Where the regulator ties in (defaults to the lower-left corner).
+    void set_vrm_location(Point2 p) { vrm_ = p; }
+    Point2 vrm_location() const { return vrm_; }
+
+    void add_decap(const Decap& d) { decaps_.push_back(d); }
+    const std::vector<Decap>& decaps() const { return decaps_; }
+    std::vector<Decap>& decaps() { return decaps_; }
+
+    void add_driver_site(const DriverSite& s) { sites_.push_back(s); }
+    const std::vector<DriverSite>& driver_sites() const { return sites_; }
+    std::vector<DriverSite>& driver_sites() { return sites_; }
+
+    void add_signal_net(const SignalNet& n) { signal_nets_.push_back(n); }
+    const std::vector<SignalNet>& signal_nets() const { return signal_nets_; }
+
+    /// Ground stitching points: low-inductance ties from the ground plane to
+    /// the system reference (chassis / connector returns). These account for
+    /// ground pins beyond the ones paired with driver sites.
+    void add_gnd_stitch(Point2 p) { gnd_stitches_.push_back(p); }
+    const std::vector<Point2>& gnd_stitches() const { return gnd_stitches_; }
+
+private:
+    double width_, height_;
+    BoardStackup stackup_;
+    double vdd_;
+    Point2 vrm_{0.01, 0.01};
+    std::vector<Polygon> cutouts_;
+    std::vector<Decap> decaps_;
+    std::vector<DriverSite> sites_;
+    std::vector<SignalNet> signal_nets_;
+    std::vector<Point2> gnd_stitches_;
+};
+
+/// The pre-layout evaluation board of §6.2 example 1: 7×10 inch, power and
+/// ground planes 30 mil apart (FR4), one chip with sixteen CMOS drivers.
+/// `switching` of the sixteen drivers get the given pulse input; the rest
+/// stay quiet.
+Board make_ssn_eval_board(int switching, double trise = 1e-9,
+                          double vdd = 5.0);
+
+/// The post-layout board of §6.2 example 2, synthesized with the paper's
+/// quoted parameters: four-layer board, plane pair 10 mil apart, twenty-six
+/// chips, 55 Vcc and 80 Gnd pins. Geometry/assignment is drawn from a seeded
+/// RNG so the experiment is reproducible.
+Board make_postlayout_board(unsigned seed = 1998);
+
+} // namespace pgsi

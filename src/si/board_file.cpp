@@ -1,0 +1,216 @@
+#include "si/board_file.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "circuit/parser.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+[[noreturn]] void fail(int lineno, const std::string& msg) {
+    throw InvalidArgument("board file, line " + std::to_string(lineno) + ": " +
+                          msg);
+}
+
+double num(const std::vector<std::string>& t, std::size_t i, int lineno) {
+    if (i >= t.size()) fail(lineno, "missing numeric field");
+    try {
+        return parse_spice_value(t[i]);
+    } catch (const InvalidArgument&) {
+        fail(lineno, "bad number '" + t[i] + "'");
+    }
+}
+
+std::vector<std::string> tokens(const std::string& line) {
+    std::istringstream is(line);
+    std::vector<std::string> t;
+    std::string w;
+    while (is >> w) {
+        if (w[0] == '#') break;
+        t.push_back(w);
+    }
+    return t;
+}
+
+} // namespace
+
+Board parse_board_file(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+
+    std::optional<double> width, height;
+    BoardStackup stackup;
+    bool have_sep = false;
+    double vdd = 5.0;
+    std::optional<Point2> vrm;
+    std::vector<Polygon> cutouts;
+    std::vector<DriverSite> sites;
+    std::vector<Decap> decaps;
+    std::vector<Point2> stitches;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::vector<std::string> t = tokens(line);
+        if (t.empty()) continue;
+        const std::string& key = t[0];
+
+        if (key == "board") {
+            width = num(t, 1, lineno);
+            height = num(t, 2, lineno);
+        } else if (key == "stackup") {
+            for (std::size_t i = 1; i + 1 < t.size(); i += 2) {
+                if (t[i] == "sep") {
+                    stackup.plane_separation = num(t, i + 1, lineno);
+                    have_sep = true;
+                } else if (t[i] == "eps") {
+                    stackup.eps_r = num(t, i + 1, lineno);
+                } else if (t[i] == "sheet") {
+                    stackup.sheet_resistance = num(t, i + 1, lineno);
+                } else {
+                    fail(lineno, "unknown stackup key '" + t[i] + "'");
+                }
+            }
+        } else if (key == "vdd") {
+            vdd = num(t, 1, lineno);
+        } else if (key == "vrm") {
+            vrm = Point2{num(t, 1, lineno), num(t, 2, lineno)};
+        } else if (key == "cutout") {
+            cutouts.push_back(Polygon::rectangle(num(t, 1, lineno),
+                                                 num(t, 2, lineno),
+                                                 num(t, 3, lineno),
+                                                 num(t, 4, lineno)));
+        } else if (key == "driver") {
+            if (t.size() < 8) fail(lineno, "driver needs: name vcc x y gnd x y");
+            DriverSite s;
+            s.name = t[1];
+            std::size_t i = 2;
+            bool have_vcc = false, have_gnd = false;
+            while (i < t.size()) {
+                if (t[i] == "vcc") {
+                    s.vcc_pin = {num(t, i + 1, lineno), num(t, i + 2, lineno)};
+                    have_vcc = true;
+                    i += 3;
+                } else if (t[i] == "gnd") {
+                    s.gnd_pin = {num(t, i + 1, lineno), num(t, i + 2, lineno)};
+                    have_gnd = true;
+                    i += 3;
+                } else if (t[i] == "ron_up") {
+                    s.driver.ron_up = num(t, i + 1, lineno);
+                    i += 2;
+                } else if (t[i] == "ron_dn") {
+                    s.driver.ron_dn = num(t, i + 1, lineno);
+                    i += 2;
+                } else if (t[i] == "cout") {
+                    s.driver.c_out = num(t, i + 1, lineno);
+                    i += 2;
+                } else if (t[i] == "load") {
+                    s.load_c = num(t, i + 1, lineno);
+                    i += 2;
+                } else if (t[i] == "switch") {
+                    // switch rise <tr> delay <td> width <tw>
+                    double tr = 1e-9, td = 1e-9, tw = 5e-9;
+                    i += 1;
+                    while (i + 1 < t.size() &&
+                           (t[i] == "rise" || t[i] == "delay" || t[i] == "width")) {
+                        const double v = num(t, i + 1, lineno);
+                        if (t[i] == "rise") tr = v;
+                        if (t[i] == "delay") td = v;
+                        if (t[i] == "width") tw = v;
+                        i += 2;
+                    }
+                    s.driver.input = Source::pulse(0, 1, td, tr, tr, tw);
+                } else {
+                    fail(lineno, "unknown driver key '" + t[i] + "'");
+                }
+            }
+            if (!have_vcc || !have_gnd) fail(lineno, "driver needs vcc and gnd pins");
+            sites.push_back(std::move(s));
+        } else if (key == "decap") {
+            Decap d;
+            d.pos = {num(t, 1, lineno), num(t, 2, lineno)};
+            std::size_t i = 3;
+            while (i + 1 < t.size() + 1 && i < t.size()) {
+                if (t[i] == "c")
+                    d.c = num(t, i + 1, lineno);
+                else if (t[i] == "esr")
+                    d.esr = num(t, i + 1, lineno);
+                else if (t[i] == "esl")
+                    d.esl = num(t, i + 1, lineno);
+                else
+                    fail(lineno, "unknown decap key '" + t[i] + "'");
+                i += 2;
+            }
+            decaps.push_back(d);
+        } else if (key == "stitch") {
+            stitches.push_back({num(t, 1, lineno), num(t, 2, lineno)});
+        } else {
+            fail(lineno, "unknown directive '" + key + "'");
+        }
+    }
+
+    if (!width || !height) throw InvalidArgument("board file: missing 'board' line");
+    if (!have_sep) throw InvalidArgument("board file: missing 'stackup sep'");
+    Board board(*width, *height, stackup, vdd);
+    if (vrm) board.set_vrm_location(*vrm);
+    for (const Polygon& c : cutouts) board.add_power_plane_cutout(c);
+    for (const DriverSite& s : sites) board.add_driver_site(s);
+    for (const Decap& d : decaps) board.add_decap(d);
+    for (const Point2& p : stitches) board.add_gnd_stitch(p);
+    return board;
+}
+
+Board load_board_file(const std::string& path) {
+    std::ifstream f(path);
+    PGSI_REQUIRE(f.good(), "load_board_file: cannot open '" + path + "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parse_board_file(os.str());
+}
+
+void write_board_file(std::ostream& os, const Board& board) {
+    os.precision(9);
+    os << "# pgsi board description\n";
+    os << "board " << board.width() << " " << board.height() << "\n";
+    os << "stackup sep " << board.stackup().plane_separation << " eps "
+       << board.stackup().eps_r << " sheet " << board.stackup().sheet_resistance
+       << "\n";
+    os << "vdd " << board.vdd() << "\n";
+    os << "vrm " << board.vrm_location().x << " " << board.vrm_location().y
+       << "\n";
+    for (const Polygon& c : board.power_plane_cutouts()) {
+        const Bbox b = c.bbox();
+        os << "cutout " << b.x0 << " " << b.y0 << " " << b.x1 << " " << b.y1
+           << "\n";
+    }
+    for (const DriverSite& s : board.driver_sites()) {
+        os << "driver " << s.name << " vcc " << s.vcc_pin.x << " " << s.vcc_pin.y
+           << " gnd " << s.gnd_pin.x << " " << s.gnd_pin.y << " ron_up "
+           << s.driver.ron_up << " ron_dn " << s.driver.ron_dn << " cout "
+           << s.driver.c_out << " load " << s.load_c;
+        if (s.driver.input.kind() == Source::Kind::Pulse) {
+            const Source::PulseParams p = s.driver.input.pulse_params();
+            os << " switch rise " << p.rise << " delay " << p.delay
+               << " width " << p.width;
+        }
+        os << "\n";
+    }
+    for (const Decap& d : board.decaps())
+        os << "decap " << d.pos.x << " " << d.pos.y << " c " << d.c << " esr "
+           << d.esr << " esl " << d.esl << "\n";
+    for (const Point2& p : board.gnd_stitches())
+        os << "stitch " << p.x << " " << p.y << "\n";
+}
+
+std::string board_file_string(const Board& board) {
+    std::ostringstream os;
+    write_board_file(os, board);
+    return os.str();
+}
+
+} // namespace pgsi

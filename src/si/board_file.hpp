@@ -1,0 +1,37 @@
+// Text file format for board descriptions, so the CLI tools and scripts can
+// drive the flow without writing C++. Line oriented, '#' comments, SPICE
+// value suffixes (30mil is not supported — use metres or suffixed numbers):
+//
+//   board  <width> <height>            # plane extents [m]
+//   stackup sep <d> eps <er> sheet <rs>
+//   vdd    <volts>
+//   vrm    <x> <y>
+//   cutout <x0> <y0> <x1> <y1>         # power-plane cutout rectangle
+//   driver <name> vcc <x> <y> gnd <x> <y> [ron_up r] [ron_dn r] [cout c]
+//          [load c] [switch rise <tr> delay <td> width <tw>]
+//   decap  <x> <y> [c <f>] [esr <r>] [esl <l>]
+//   stitch <x> <y>
+//
+// Unknown keys raise errors with line numbers. A writer produces files the
+// parser round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "si/board.hpp"
+
+namespace pgsi {
+
+/// Parse a board description. Throws InvalidArgument with a line reference
+/// on malformed input.
+Board parse_board_file(const std::string& text);
+
+/// Load from a file path.
+Board load_board_file(const std::string& path);
+
+/// Serialize a board to the same format.
+void write_board_file(std::ostream& os, const Board& board);
+std::string board_file_string(const Board& board);
+
+} // namespace pgsi

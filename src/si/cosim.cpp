@@ -1,0 +1,312 @@
+#include "si/cosim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+// Build a single-conductor modal line from (z0, delay): any length works as
+// long as L·len = z0·τ and C·len = τ/z0; unit length is used.
+std::shared_ptr<const ModalTline> line_from_figures(double z0, double delay) {
+    MtlParameters p;
+    p.l = MatrixD{{z0 * delay}};
+    p.c = MatrixD{{delay / z0}};
+    return std::make_shared<ModalTline>(p, 1.0);
+}
+
+// Attach a board signal net to a driver output inside `nl`. Returns the
+// receiver node.
+NodeId stamp_signal_net(Netlist& nl, const SignalNet& net, NodeId out,
+                        const std::string& name) {
+    const NodeId rx = nl.add_node(name + "_rx");
+    nl.add_tline("T" + name, {out}, {rx}, line_from_figures(net.z0, net.delay));
+    if (net.receiver_c > 0)
+        nl.add_capacitor("Crx_" + name, rx, nl.ground(), net.receiver_c);
+    if (net.term_r > 0)
+        nl.add_resistor("Rterm_" + name, rx, nl.ground(), net.term_r);
+    return rx;
+}
+
+} // namespace
+
+namespace {
+
+// Locate a value in a sorted keep-list; the extraction guarantees presence.
+std::size_t index_in(const std::vector<std::size_t>& keep, std::size_t node) {
+    const auto it = std::lower_bound(keep.begin(), keep.end(), node);
+    PGSI_ASSERT(it != keep.end() && *it == node);
+    return static_cast<std::size_t>(it - keep.begin());
+}
+
+} // namespace
+
+PlaneModel::PlaneModel(const Board& board, const SsnModelOptions& options)
+    : board_(board), options_(options) {
+    // Paper Fig. 2 configuration: the power plane is meshed at the stackup
+    // separation above the ground plane, which acts as the common reference
+    // and enters through the image terms of the Green's functions.
+    ConductorShape vcc;
+    vcc.outline = Polygon::rectangle(0, 0, board_.width(), board_.height());
+    vcc.holes = board_.power_plane_cutouts();
+    vcc.z = board_.stackup().plane_separation;
+    vcc.sheet_resistance = board_.stackup().sheet_resistance;
+    vcc.name = "vcc";
+
+    RectMesh mesh({vcc}, options_.mesh_pitch);
+    bem_ = std::make_unique<PlaneBem>(
+        std::move(mesh), Greens::homogeneous(board_.stackup().eps_r, true),
+        BemOptions{options_.testing, 2, 4});
+
+    const RectMesh& m = bem_->mesh();
+    std::vector<std::size_t> ports;
+    auto add_port = [&](Point2 p) {
+        const std::size_t n = m.nearest_node(p, 0);
+        ports.push_back(n);
+        return n;
+    };
+    for (const DriverSite& s : board_.driver_sites())
+        site_vcc_.push_back(add_port(s.vcc_pin));
+    for (const Decap& d : board_.decaps()) decap_vcc_.push_back(add_port(d.pos));
+    vrm_vcc_ = add_port(board_.vrm_location());
+
+    CircuitExtractor extractor(*bem_, ExtractionOptions{options_.prune_rel_tol, true});
+    const std::vector<std::size_t> keep =
+        extractor.select_nodes(ports, options_.interior_nodes);
+    circuit_ = extractor.extract(keep);
+
+    // Re-express the port mesh nodes as circuit-node indices.
+    for (std::size_t& n : site_vcc_) n = index_in(keep, n);
+    for (std::size_t& n : decap_vcc_) n = index_in(keep, n);
+    vrm_vcc_ = index_in(keep, vrm_vcc_);
+}
+
+std::size_t PlaneModel::site_vcc_node(std::size_t site) const {
+    PGSI_REQUIRE(site < site_vcc_.size(), "PlaneModel: site index out of range");
+    return site_vcc_[site];
+}
+std::size_t PlaneModel::decap_vcc_node(std::size_t decap) const {
+    PGSI_REQUIRE(decap < decap_vcc_.size(), "PlaneModel: decap index out of range");
+    return decap_vcc_[decap];
+}
+
+namespace {
+
+// Build the plane-side netlist (equivalent circuit + VRM + the selected
+// decaps). The ground plane is the netlist reference. Returns the
+// circuit-node -> netlist-node map.
+std::vector<NodeId> stamp_plane_side(Netlist& nl, const PlaneModel& plane,
+                                     const std::vector<std::size_t>& decaps) {
+    const EquivalentCircuit& ec = plane.circuit();
+    const Board& board = plane.board();
+    const SsnModelOptions& opt = plane.options();
+
+    std::vector<NodeId> node_map(ec.node_count());
+    for (std::size_t k = 0; k < ec.node_count(); ++k)
+        node_map[k] = nl.add_node("pl_" + std::to_string(k));
+    ec.stamp(nl, node_map, nl.ground(), "pg");
+
+    // Regulator: ideal Vdd behind R + L into the plane's VRM connection.
+    const NodeId vsrc = nl.add_node("vrm_src");
+    nl.add_vsource("Vvrm", vsrc, nl.ground(), Source::dc(board.vdd()));
+    nl.add_inductor("Lvrm", vsrc, node_map[plane.vrm_vcc_node()], opt.vrm_l,
+                    opt.vrm_r);
+
+    for (std::size_t d : decaps) {
+        PGSI_REQUIRE(d < board.decaps().size(),
+                     "stamp_plane_side: decap index out of range");
+        const Decap& dc = board.decaps()[d];
+        const std::string tag = "dcap" + std::to_string(d);
+        const NodeId mid = nl.add_node(tag + "_mid");
+        nl.add_capacitor("C" + tag, node_map[plane.decap_vcc_node(d)], mid, dc.c);
+        nl.add_inductor("L" + tag, mid, nl.ground(), dc.esl, dc.esr);
+    }
+    return node_map;
+}
+
+std::vector<std::size_t> prefix_decaps(const PlaneModel& plane,
+                                       std::size_t count) {
+    const std::size_t n =
+        std::min<std::size_t>(count, plane.board().decaps().size());
+    std::vector<std::size_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+}
+
+} // namespace
+
+SsnModel::SsnModel(std::shared_ptr<const PlaneModel> plane,
+                   std::size_t active_decaps)
+    : SsnModel(plane, prefix_decaps(*plane, active_decaps)) {}
+
+SsnModel::SsnModel(std::shared_ptr<const PlaneModel> plane,
+                   const std::vector<std::size_t>& decap_subset)
+    : plane_(std::move(plane)) {
+    PGSI_REQUIRE(plane_ != nullptr, "SsnModel: null plane model");
+    plane_node_map_ = stamp_plane_side(nl_, *plane_, decap_subset);
+    vrm_vcc_node_ = plane_node_map_[plane_->vrm_vcc_node()];
+
+    const Board& board = plane_->board();
+    for (std::size_t s = 0; s < board.driver_sites().size(); ++s) {
+        const DriverSite& site = board.driver_sites()[s];
+        const NodeId bvcc = plane_node_map_[plane_->site_vcc_node(s)];
+        board_vcc_.push_back(bvcc);
+        // Ground pin first so the Vcc pad capacitance can reference die Gnd;
+        // the board side of the ground pin is the reference plane itself.
+        const NodeId dgnd = stamp_package_pin(nl_, site.name + "_gnd",
+                                              nl_.ground(), nl_.ground(),
+                                              site.gnd_pkg);
+        const NodeId dvcc =
+            stamp_package_pin(nl_, site.name + "_vcc", bvcc, dgnd, site.vcc_pkg);
+        const NodeId o = nl_.add_node(site.name + "_out");
+        nl_.add_driver(site.name, o, dvcc, dgnd, site.driver);
+        if (site.load_c > 0)
+            nl_.add_capacitor("Cload_" + site.name, o, dgnd, site.load_c);
+        die_vcc_.push_back(dvcc);
+        die_gnd_.push_back(dgnd);
+        out_.push_back(o);
+    }
+    for (std::size_t n = 0; n < board.signal_nets().size(); ++n) {
+        const SignalNet& net = board.signal_nets()[n];
+        PGSI_REQUIRE(net.driver_site < out_.size(),
+                     "SsnModel: signal net references unknown driver site");
+        rx_.push_back(stamp_signal_net(nl_, net, out_[net.driver_site],
+                                       "net" + std::to_string(n)));
+    }
+}
+
+TransientResult SsnModel::simulate(double dt, double tstop,
+                                   std::vector<NodeId> probes) const {
+    TransientOptions opt;
+    opt.dt = dt;
+    opt.tstop = tstop;
+    if (probes.empty()) {
+        probes.push_back(nl_.ground());
+        for (NodeId n : die_gnd_) probes.push_back(n);
+        for (NodeId n : die_vcc_) probes.push_back(n);
+        for (NodeId n : board_vcc_) probes.push_back(n);
+        for (NodeId n : out_) probes.push_back(n);
+        probes.push_back(vrm_vcc_node_);
+    }
+    opt.probes = std::move(probes);
+    return transient_analyze(nl_, opt);
+}
+
+double SsnModel::peak_ground_bounce(const TransientResult& r,
+                                    const std::vector<NodeId>& die_gnd_nodes) {
+    double peak = 0;
+    for (NodeId n : die_gnd_nodes) peak = std::max(peak, r.peak_excursion(n));
+    return peak;
+}
+
+struct PartitionedCosim::Impl {
+    std::shared_ptr<const PlaneModel> plane;
+    double dt;
+
+    Netlist plane_nl;
+    Netlist dev_nl;
+    std::vector<NodeId> node_map;
+    // Per site: indices of the coupling sources.
+    std::vector<std::size_t> i_vcc_idx; // isources in plane_nl
+    std::vector<std::size_t> v_vcc_idx; // vsources in dev_nl
+    std::vector<NodeId> plane_vcc_node;
+    std::vector<NodeId> dev_die_vcc, dev_die_gnd, dev_out;
+
+    std::unique_ptr<TransientStepper> plane_step, dev_step;
+
+    Impl(std::shared_ptr<const PlaneModel> p, double dt_in, std::size_t ndecap)
+        : plane(std::move(p)), dt(dt_in) {
+        node_map = stamp_plane_side(plane_nl, *plane, prefix_decaps(*plane, ndecap));
+        const Board& board = plane->board();
+
+        for (std::size_t s = 0; s < board.driver_sites().size(); ++s) {
+            const DriverSite& site = board.driver_sites()[s];
+            const NodeId pvcc = node_map[plane->site_vcc_node(s)];
+            plane_vcc_node.push_back(pvcc);
+            // Plane side: injected pin current (updated every step).
+            i_vcc_idx.push_back(plane_nl.isources().size());
+            plane_nl.add_isource("Ipin_vcc_" + site.name, pvcc, plane_nl.ground(),
+                                 Source::dc(0.0));
+
+            // Device side: supply voltage seen at the pin (updated every
+            // step from the plane solution). The ground pin lands on the
+            // reference directly.
+            const NodeId bvcc = dev_nl.add_node(site.name + "_bvcc");
+            v_vcc_idx.push_back(dev_nl.vsources().size());
+            dev_nl.add_vsource("Vpin_vcc_" + site.name, bvcc, dev_nl.ground(),
+                               Source::dc(board.vdd()));
+
+            const NodeId dgnd = stamp_package_pin(dev_nl, site.name + "_gnd",
+                                                  dev_nl.ground(),
+                                                  dev_nl.ground(), site.gnd_pkg);
+            const NodeId dvcc = stamp_package_pin(dev_nl, site.name + "_vcc",
+                                                  bvcc, dgnd, site.vcc_pkg);
+            const NodeId o = dev_nl.add_node(site.name + "_out");
+            dev_nl.add_driver(site.name, o, dvcc, dgnd, site.driver);
+            if (site.load_c > 0)
+                dev_nl.add_capacitor("Cload_" + site.name, o, dgnd, site.load_c);
+            dev_die_vcc.push_back(dvcc);
+            dev_die_gnd.push_back(dgnd);
+            dev_out.push_back(o);
+        }
+        // Signal nets belong to the device partition (§5.2, Fig. 3).
+        for (std::size_t n = 0; n < board.signal_nets().size(); ++n) {
+            const SignalNet& net = board.signal_nets()[n];
+            stamp_signal_net(dev_nl, net, dev_out.at(net.driver_site),
+                             "net" + std::to_string(n));
+        }
+        plane_step = std::make_unique<TransientStepper>(plane_nl, dt);
+        dev_step = std::make_unique<TransientStepper>(dev_nl, dt);
+    }
+};
+
+PartitionedCosim::PartitionedCosim(std::shared_ptr<const PlaneModel> plane,
+                                   double dt, std::size_t active_decaps)
+    : impl_(std::make_unique<Impl>(std::move(plane), dt, active_decaps)) {}
+
+PartitionedCosim::~PartitionedCosim() = default;
+
+PartitionedCosim::Result PartitionedCosim::run(double tstop) {
+    Impl& im = *impl_;
+    const std::size_t nsites = im.plane_vcc_node.size();
+    Result res;
+    res.die_gnd.resize(nsites);
+    res.die_vcc.resize(nsites);
+    res.plane_vcc.resize(nsites);
+
+    const auto steps = static_cast<std::size_t>(std::ceil(tstop / im.dt));
+    for (std::size_t step = 1; step <= steps; ++step) {
+        // 1. Device subsystem steps with the supply voltages the plane
+        //    produced at the previous step (Gauss–Seidel lag).
+        im.dev_step->step();
+        // 2. Pin currents from the device solution are imposed on the plane
+        //    ("the driver Vcc and Gnd currents are imposed upon the
+        //    power/ground net as source").
+        for (std::size_t s = 0; s < nsites; ++s) {
+            // vsource current flows + -> source -> -, so the current the
+            // device draws out of the Vcc pin is -I(Vpin_vcc).
+            const double i_draw = -im.dev_step->vsource_current(im.v_vcc_idx[s]);
+            im.plane_nl.isources()[im.i_vcc_idx[s]].src = Source::dc(i_draw);
+        }
+        // 3. Plane subsystem steps; the resulting supply noise is fed back.
+        im.plane_step->step();
+        for (std::size_t s = 0; s < nsites; ++s) {
+            const double vcc = im.plane_step->node_voltage(im.plane_vcc_node[s]);
+            im.dev_nl.vsources()[im.v_vcc_idx[s]].src = Source::dc(vcc);
+        }
+
+        res.time.push_back(step * im.dt);
+        for (std::size_t s = 0; s < nsites; ++s) {
+            res.die_gnd[s].push_back(im.dev_step->node_voltage(im.dev_die_gnd[s]));
+            res.die_vcc[s].push_back(im.dev_step->node_voltage(im.dev_die_vcc[s]));
+            res.plane_vcc[s].push_back(
+                im.plane_step->node_voltage(im.plane_vcc_node[s]));
+        }
+    }
+    return res;
+}
+
+} // namespace pgsi

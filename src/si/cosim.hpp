@@ -1,0 +1,142 @@
+// Integrated system-level SSN simulation (§5.2, Fig. 3).
+//
+// The board is partitioned into the paper's four subsystems — chip devices
+// (behavioral drivers), chip packages (pin parasitics), signal nets
+// (transmission lines, when present), and the power/ground planes (extracted
+// equivalent circuit) — and simulated together in the time domain.
+//
+// Plane modeling follows the paper's Fig. 2 configuration: the power plane
+// (with any cutouts / splits) is meshed and extracted against the ground
+// plane acting as the common reference, handled through image theory in the
+// layered Green's functions. Every power pin becomes a circuit node of the
+// distributed RLC network; ground pins reach the reference through their
+// package parasitics. (An element-wise branch circuit spanning two meshed
+// planes would contain negative mutual-inductance branches whose internal
+// loop modes are unstable in time-domain integration — the common-reference
+// form is both the paper's and the numerically sound realization.)
+//
+// Two couplings are provided:
+//
+//  * SsnModel — all subsystems stamped into one MNA system and solved
+//    simultaneously (unconditionally consistent; the primary engine).
+//  * PartitionedCosim — the coupling scheme as the paper describes it: "at
+//    every time step the driver Vcc and Gnd currents are imposed upon the
+//    power/ground net as source to calculate the ground noise responses, and
+//    these noises are fed back to the device ... simulation". Device and
+//    plane subsystems run as separate MNA steppers exchanging pin currents
+//    and supply voltages once per step (Gauss–Seidel relaxation).
+//
+// The ablation bench A4 quantifies the difference between the two.
+#pragma once
+
+#include <memory>
+
+#include "circuit/transient.hpp"
+#include "em/bem_plane.hpp"
+#include "extract/equivalent_circuit.hpp"
+#include "si/board.hpp"
+
+namespace pgsi {
+
+/// Controls for plane meshing / extraction and regulator parasitics.
+struct SsnModelOptions {
+    double mesh_pitch = 12e-3;     ///< plane mesh pitch [m]
+    std::size_t interior_nodes = 16; ///< interior circuit nodes kept per model
+    Testing testing = Testing::PointMatching;
+    double prune_rel_tol = 0.02;   ///< equivalent-circuit branch pruning
+    double vrm_r = 5e-3;           ///< regulator series resistance [ohm]
+    double vrm_l = 2e-9;           ///< regulator connection inductance [H]
+};
+
+/// Field model of one board's power plane: mesh, BEM extraction, equivalent
+/// circuit, and the mapping from board features to circuit nodes. Built once
+/// and shared between simulation variants (the extraction is the expensive
+/// step; driver/decap changes do not invalidate it as long as positions are
+/// declared up front).
+class PlaneModel {
+public:
+    PlaneModel(const Board& board, const SsnModelOptions& options);
+
+    const Board& board() const { return board_; }
+    const SsnModelOptions& options() const { return options_; }
+    const PlaneBem& bem() const { return *bem_; }
+    const EquivalentCircuit& circuit() const { return circuit_; }
+
+    /// Circuit-node index (into circuit().node_*) of each board feature on
+    /// the power plane.
+    std::size_t site_vcc_node(std::size_t site) const;
+    std::size_t decap_vcc_node(std::size_t decap) const;
+    std::size_t vrm_vcc_node() const { return vrm_vcc_; }
+
+private:
+    Board board_;
+    SsnModelOptions options_;
+    std::unique_ptr<PlaneBem> bem_;
+    EquivalentCircuit circuit_;
+    std::vector<std::size_t> site_vcc_, decap_vcc_;
+    std::size_t vrm_vcc_ = 0;
+};
+
+/// Monolithic SSN netlist: plane circuit + regulator + decaps + packages +
+/// drivers in one MNA system.
+class SsnModel {
+public:
+    /// active_decaps limits how many of the board's decaps are populated
+    /// (npos = all) — the §6.2 decoupling study sweeps this.
+    SsnModel(std::shared_ptr<const PlaneModel> plane,
+             std::size_t active_decaps = static_cast<std::size_t>(-1));
+
+    /// Populate an explicit subset of the board's decaps (indices into
+    /// Board::decaps()) — used by the placement optimizer.
+    SsnModel(std::shared_ptr<const PlaneModel> plane,
+             const std::vector<std::size_t>& decap_subset);
+
+    Netlist& netlist() { return nl_; }
+    const Netlist& netlist() const { return nl_; }
+
+    NodeId die_vcc(std::size_t site) const { return die_vcc_[site]; }
+    NodeId die_gnd(std::size_t site) const { return die_gnd_[site]; }
+    NodeId out(std::size_t site) const { return out_[site]; }
+    NodeId board_vcc(std::size_t site) const { return board_vcc_[site]; }
+    NodeId vrm_vcc() const { return vrm_vcc_node_; }
+    /// Receiver node of signal net k (Board::signal_nets() order).
+    NodeId receiver(std::size_t net) const { return rx_.at(net); }
+
+    /// Run the transient; probes default to every die/board supply node and
+    /// every driver output.
+    TransientResult simulate(double dt, double tstop,
+                             std::vector<NodeId> probes = {}) const;
+
+    /// Worst ground bounce across sites: max |V(die_gnd) − V(board ref)|.
+    static double peak_ground_bounce(const TransientResult& r,
+                                     const std::vector<NodeId>& die_gnd_nodes);
+
+private:
+    std::shared_ptr<const PlaneModel> plane_;
+    Netlist nl_;
+    std::vector<NodeId> plane_node_map_; // circuit node -> netlist node
+    std::vector<NodeId> die_vcc_, die_gnd_, out_, board_vcc_, rx_;
+    NodeId vrm_vcc_node_ = 0;
+};
+
+/// Partitioned per-step Gauss–Seidel co-simulation (§5.2 description).
+class PartitionedCosim {
+public:
+    PartitionedCosim(std::shared_ptr<const PlaneModel> plane, double dt,
+                     std::size_t active_decaps = static_cast<std::size_t>(-1));
+    ~PartitionedCosim();
+
+    struct Result {
+        VectorD time;
+        std::vector<VectorD> die_gnd;   ///< per site: die ground bounce [V]
+        std::vector<VectorD> die_vcc;   ///< per site: die supply [V]
+        std::vector<VectorD> plane_vcc; ///< per site: plane voltage at the Vcc pin
+    };
+    Result run(double tstop);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace pgsi

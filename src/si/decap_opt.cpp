@@ -1,0 +1,100 @@
+#include "si/decap_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+namespace {
+
+double objective_value(const SsnModel& model, double dt, double tstop,
+                       DecapObjective objective) {
+    const std::size_t nsites = model.netlist().drivers().size();
+    std::vector<NodeId> probes;
+    for (std::size_t s = 0; s < nsites; ++s) {
+        probes.push_back(objective == DecapObjective::PlaneNoise
+                             ? model.board_vcc(s)
+                             : model.die_vcc(s));
+    }
+    const TransientResult r = model.simulate(dt, tstop, probes);
+    double worst = 0;
+    for (NodeId n : probes) worst = std::max(worst, r.peak_excursion(n));
+    return worst;
+}
+
+} // namespace
+
+DecapPlacementResult optimize_decap_placement(
+    std::shared_ptr<const PlaneModel> plane, std::size_t budget, double dt,
+    double tstop, DecapObjective objective, double min_gain) {
+    PGSI_REQUIRE(plane != nullptr, "optimize_decap_placement: null plane model");
+    const std::size_t n_candidates = plane->board().decaps().size();
+    PGSI_REQUIRE(n_candidates > 0,
+                 "optimize_decap_placement: board has no candidate decaps");
+
+    DecapPlacementResult res;
+    {
+        const SsnModel empty(plane, std::vector<std::size_t>{});
+        res.baseline_noise = objective_value(empty, dt, tstop, objective);
+    }
+
+    std::vector<std::size_t> population;
+    std::vector<bool> used(n_candidates, false);
+    double current = res.baseline_noise;
+
+    for (std::size_t step = 0; step < budget; ++step) {
+        double best_noise = current;
+        std::size_t best = n_candidates;
+        for (std::size_t c = 0; c < n_candidates; ++c) {
+            if (used[c]) continue;
+            std::vector<std::size_t> trial = population;
+            trial.push_back(c);
+            const SsnModel model(plane, trial);
+            const double noise = objective_value(model, dt, tstop, objective);
+            if (noise < best_noise) {
+                best_noise = noise;
+                best = c;
+            }
+        }
+        if (best == n_candidates || best_noise > current * (1.0 - min_gain))
+            break; // nothing (sufficiently) helpful left
+        used[best] = true;
+        population.push_back(best);
+        current = best_noise;
+        res.picks.push_back({best, best_noise});
+    }
+    return res;
+}
+
+VectorD pdn_impedance_profile_board(const SsnModel& model, std::size_t site,
+                                    const VectorD& freqs_hz) {
+    Netlist nl = model.netlist();
+    nl.add_isource("Ipdn_probe", nl.ground(), model.board_vcc(site),
+                   Source::dc(0.0).set_ac(1.0));
+    VectorD z(freqs_hz.size());
+    for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+        const AcSolution s = ac_analyze(nl, freqs_hz[i]);
+        z[i] = std::abs(s.v(model.board_vcc(site)));
+    }
+    return z;
+}
+
+VectorD pdn_impedance_profile(const SsnModel& model, std::size_t site,
+                              const VectorD& freqs_hz) {
+    // Probe with a 1 A AC source between die Vcc and die Gnd, drivers quiet
+    // (their t = 0 conductances apply).
+    Netlist nl = model.netlist();
+    nl.add_isource("Ipdn_probe", model.die_gnd(site), model.die_vcc(site),
+                   Source::dc(0.0).set_ac(1.0));
+    VectorD z(freqs_hz.size());
+    for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+        const AcSolution s = ac_analyze(nl, freqs_hz[i]);
+        z[i] = std::abs(s.v(model.die_vcc(site)) - s.v(model.die_gnd(site)));
+    }
+    return z;
+}
+
+} // namespace pgsi

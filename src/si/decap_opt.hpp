@@ -1,0 +1,66 @@
+// Decoupling-capacitor placement optimization (§6.2: "optimize the
+// decoupling strategy which includes the placement, number, and value of
+// de-caps necessary for noise reduction against design margin").
+//
+// Greedy forward selection: starting from an empty population, repeatedly
+// add the candidate decap that most reduces the worst-case noise metric,
+// until the budget is spent or no candidate improves it. Greedy is the
+// standard engineering heuristic for this submodular-ish objective and
+// turns the paper's "play it safe and put as much as you could" practice
+// into a ranked shopping list.
+//
+// A frequency-domain companion, pdn_impedance_profile, reports the supply
+// impedance seen from a die across frequency — the modern target-impedance
+// view of the same problem.
+#pragma once
+
+#include "si/cosim.hpp"
+
+namespace pgsi {
+
+/// Noise metric minimized by the optimizer.
+enum class DecapObjective {
+    PlaneNoise, ///< worst power-plane excursion at any pin
+    VccDroop    ///< worst die-supply excursion
+};
+
+/// One greedy step of the optimization.
+struct DecapPick {
+    std::size_t candidate = 0; ///< index into Board::decaps()
+    double noise_after = 0;    ///< objective value once this decap is added [V]
+};
+
+/// Optimization result.
+struct DecapPlacementResult {
+    double baseline_noise = 0;      ///< objective with no decaps [V]
+    std::vector<DecapPick> picks;   ///< in selection order
+    /// Final population (candidate indices) after all picks.
+    std::vector<std::size_t> chosen() const {
+        std::vector<std::size_t> out;
+        for (const DecapPick& p : picks) out.push_back(p.candidate);
+        return out;
+    }
+};
+
+/// Greedily choose up to `budget` decaps from the board's candidate list
+/// (all entries of Board::decaps() are candidates). The plane model must
+/// have been built from the same board. Stops early when no candidate
+/// improves the objective by more than `min_gain` (relative).
+DecapPlacementResult optimize_decap_placement(
+    std::shared_ptr<const PlaneModel> plane, std::size_t budget, double dt,
+    double tstop, DecapObjective objective = DecapObjective::PlaneNoise,
+    double min_gain = 0.01);
+
+/// |Z(f)| of the power delivery network seen between die Vcc and die Gnd of
+/// one site, with all drivers quiet — the PDN impedance profile as the chip
+/// experiences it (package pins included).
+VectorD pdn_impedance_profile(const SsnModel& model, std::size_t site,
+                              const VectorD& freqs_hz);
+
+/// |Z(f)| at the board-level Vcc pin of one site against the ground plane —
+/// the plane + decap + regulator portion of the PDN, where decoupling
+/// capacitors act.
+VectorD pdn_impedance_profile_board(const SsnModel& model, std::size_t site,
+                                    const VectorD& freqs_hz);
+
+} // namespace pgsi

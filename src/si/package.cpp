@@ -1,0 +1,22 @@
+#include "si/package.hpp"
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+NodeId stamp_package_pin(Netlist& nl, const std::string& name, NodeId board_node,
+                         NodeId ref, const PackagePin& pin) {
+    PGSI_REQUIRE(pin.l > 0, "stamp_package_pin: inductance must be positive");
+    const NodeId die = nl.add_node(name + "_die");
+    if (pin.r > 0) {
+        const NodeId mid = nl.add_node(name + "_mid");
+        nl.add_resistor("R" + name, board_node, mid, pin.r);
+        nl.add_inductor("L" + name, mid, die, pin.l);
+    } else {
+        nl.add_inductor("L" + name, board_node, die, pin.l);
+    }
+    if (pin.c > 0 && die != ref) nl.add_capacitor("C" + name, die, ref, pin.c);
+    return die;
+}
+
+} // namespace pgsi

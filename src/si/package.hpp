@@ -1,0 +1,37 @@
+// Chip-package parasitics (§5.2: "chip package modeling involves mostly
+// parasitic extraction for parameters such as pin inductance and capacitance,
+// and the package is modeled as a few circuit elements").
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace pgsi {
+
+/// One package pin: series inductance + resistance from board to die, plus a
+/// shunt capacitance on the die side.
+struct PackagePin {
+    double l = 5e-9;  ///< pin + bondwire inductance [H]
+    double r = 0.05;  ///< pin resistance [ohm]
+    double c = 0.5e-12; ///< die-side pad capacitance to the local reference [F]
+};
+
+/// Typical pin parasitics for common package families, for convenience in
+/// examples and benches.
+namespace packages {
+/// Through-hole DIP: long lead frames.
+inline constexpr PackagePin dip{12e-9, 0.1, 1e-12};
+/// PQFP: mid-length lead frames.
+inline constexpr PackagePin pqfp{6e-9, 0.06, 0.7e-12};
+/// BGA: short escape routes.
+inline constexpr PackagePin bga{2e-9, 0.03, 0.4e-12};
+} // namespace packages
+
+/// Stamp one package pin between a board-level node and a new die-side node.
+/// `ref` is the node the die-side shunt capacitance returns to (usually the
+/// die ground). Returns the created die-side node.
+NodeId stamp_package_pin(Netlist& nl, const std::string& name, NodeId board_node,
+                         NodeId ref, const PackagePin& pin);
+
+} // namespace pgsi

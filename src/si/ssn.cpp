@@ -1,0 +1,143 @@
+#include "si/ssn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace pgsi {
+
+SwitchingSweepRow measure_noise(const SsnModel& model, double dt, double tstop) {
+    const std::size_t nsites = model.netlist().drivers().size();
+    std::vector<NodeId> probes;
+    for (std::size_t s = 0; s < nsites; ++s) {
+        probes.push_back(model.die_gnd(s));
+        probes.push_back(model.die_vcc(s));
+        probes.push_back(model.board_vcc(s));
+    }
+    const TransientResult r = model.simulate(dt, tstop, probes);
+
+    SwitchingSweepRow row;
+    for (std::size_t s = 0; s < nsites; ++s) {
+        row.peak_gnd_bounce =
+            std::max(row.peak_gnd_bounce, r.peak_excursion(model.die_gnd(s)));
+        row.peak_vcc_droop =
+            std::max(row.peak_vcc_droop, r.peak_excursion(model.die_vcc(s)));
+        row.peak_plane_noise =
+            std::max(row.peak_plane_noise, r.peak_excursion(model.board_vcc(s)));
+    }
+    return row;
+}
+
+std::vector<SwitchingSweepRow> sweep_switching_drivers(
+    const std::vector<int>& switching_counts, const SsnModelOptions& options,
+    double dt, double tstop) {
+    PGSI_REQUIRE(!switching_counts.empty(), "sweep_switching_drivers: empty sweep");
+    // Build the field model once from the all-switching variant; only driver
+    // inputs change between rows, which does not affect the extraction.
+    auto plane = std::make_shared<PlaneModel>(make_ssn_eval_board(16), options);
+
+    std::vector<SwitchingSweepRow> rows;
+    for (int n : switching_counts) {
+        PGSI_REQUIRE(n >= 0 && n <= 16, "sweep_switching_drivers: 0..16 drivers");
+        SsnModel model(plane);
+        const Board ref = make_ssn_eval_board(n);
+        for (std::size_t s = 0; s < model.netlist().drivers().size(); ++s)
+            model.netlist().drivers()[s].params.input =
+                ref.driver_sites()[s].driver.input;
+        SwitchingSweepRow row = measure_noise(model, dt, tstop);
+        row.n_switching = n;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+SwitchingPatternResult find_worst_switching_pattern(
+    std::shared_ptr<const PlaneModel> plane, std::size_t max_switching,
+    const Source& switching_input, double dt, double tstop) {
+    PGSI_REQUIRE(plane != nullptr, "find_worst_switching_pattern: null plane");
+    const std::size_t nsites = plane->board().driver_sites().size();
+    PGSI_REQUIRE(max_switching >= 1 && max_switching <= nsites,
+                 "find_worst_switching_pattern: bad budget");
+
+    SwitchingPatternResult res;
+    std::vector<bool> chosen(nsites, false);
+
+    auto noise_for = [&](const std::vector<bool>& active) {
+        SsnModel model(plane);
+        for (std::size_t s = 0; s < nsites; ++s)
+            model.netlist().drivers()[s].params.input =
+                active[s] ? switching_input : Source::dc(0.0);
+        // The shared plane noise is the combination-sensitive metric;
+        // per-die ground bounce saturates with the first aggressor.
+        return measure_noise(model, dt, tstop).peak_plane_noise;
+    };
+
+    for (std::size_t pick = 0; pick < max_switching; ++pick) {
+        double best_noise = -1;
+        std::size_t best = nsites;
+        for (std::size_t c = 0; c < nsites; ++c) {
+            if (chosen[c]) continue;
+            std::vector<bool> trial = chosen;
+            trial[c] = true;
+            const double n = noise_for(trial);
+            if (n > best_noise) {
+                best_noise = n;
+                best = c;
+            }
+        }
+        PGSI_ASSERT(best < nsites);
+        chosen[best] = true;
+        res.pattern.push_back(best);
+        res.noise_after.push_back(best_noise);
+    }
+    return res;
+}
+
+std::vector<DecapSweepRow> sweep_decap_count(std::size_t max_decaps,
+                                             const Decap& prototype,
+                                             const SsnModelOptions& options,
+                                             double dt, double tstop) {
+    Board board = make_ssn_eval_board(16);
+    // Candidate decaps ring the chip at increasing distance.
+    const Point2 chip{3.5 * units::inch, 5.0 * units::inch};
+    for (std::size_t d = 0; d < max_decaps; ++d) {
+        Decap dc = prototype;
+        const double ang = 2.0 * pi * static_cast<double>(d) /
+                           std::max<std::size_t>(1, max_decaps);
+        const double radius = 15e-3 + 6e-3 * static_cast<double>(d / 8);
+        dc.pos = {chip.x + radius * std::cos(ang), chip.y + radius * std::sin(ang)};
+        board.add_decap(dc);
+    }
+
+    auto plane = std::make_shared<PlaneModel>(board, options);
+    std::vector<DecapSweepRow> rows;
+    for (std::size_t n = 0; n <= max_decaps; n = (n == 0 ? 1 : n * 2)) {
+        SsnModel model(plane, n);
+        const SwitchingSweepRow noise = measure_noise(model, dt, tstop);
+        DecapSweepRow row;
+        row.n_decaps = std::min(n, max_decaps);
+        row.total_capacitance = prototype.c * static_cast<double>(row.n_decaps);
+        row.peak_gnd_bounce = noise.peak_gnd_bounce;
+        row.peak_vcc_droop = noise.peak_vcc_droop;
+        row.peak_plane_noise = noise.peak_plane_noise;
+        rows.push_back(row);
+        if (n == max_decaps) break;
+        if (n * 2 > max_decaps && n != 0) {
+            SsnModel full(plane, max_decaps);
+            const SwitchingSweepRow fn = measure_noise(full, dt, tstop);
+            DecapSweepRow last;
+            last.n_decaps = max_decaps;
+            last.total_capacitance = prototype.c * static_cast<double>(max_decaps);
+            last.peak_gnd_bounce = fn.peak_gnd_bounce;
+            last.peak_vcc_droop = fn.peak_vcc_droop;
+            last.peak_plane_noise = fn.peak_plane_noise;
+            rows.push_back(last);
+            break;
+        }
+    }
+    return rows;
+}
+
+} // namespace pgsi

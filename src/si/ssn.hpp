@@ -1,0 +1,59 @@
+// Simultaneous-switching-noise studies (§6.2): ground-noise scaling with the
+// number of switching drivers, and decoupling-capacitor effectiveness
+// ("simulate the effect of de-caps and thus optimize the decoupling strategy
+// which includes the placement, number, and value of de-caps").
+#pragma once
+
+#include "si/cosim.hpp"
+
+namespace pgsi {
+
+/// One row of the switching-count study.
+struct SwitchingSweepRow {
+    int n_switching = 0;
+    double peak_gnd_bounce = 0;  ///< worst die-ground excursion [V]
+    double peak_vcc_droop = 0;   ///< worst die-Vcc excursion [V]
+    double peak_plane_noise = 0; ///< worst power-plane excursion at a pin [V]
+};
+
+/// Ground noise versus how many of the 16 drivers of the §6.2 pre-layout
+/// board switch together. The plane extraction is performed once and reused.
+std::vector<SwitchingSweepRow> sweep_switching_drivers(
+    const std::vector<int>& switching_counts, const SsnModelOptions& options,
+    double dt, double tstop);
+
+/// One row of the decap study.
+struct DecapSweepRow {
+    std::size_t n_decaps = 0;
+    double total_capacitance = 0; ///< [F]
+    double peak_gnd_bounce = 0;
+    double peak_vcc_droop = 0;
+    double peak_plane_noise = 0;
+};
+
+/// Noise versus populated decap count on the §6.2 pre-layout board with all
+/// 16 drivers switching. Candidate decaps ring the chip; populating happens
+/// nearest-first.
+std::vector<DecapSweepRow> sweep_decap_count(std::size_t max_decaps,
+                                             const Decap& prototype,
+                                             const SsnModelOptions& options,
+                                             double dt, double tstop);
+
+/// Helper shared by the sweeps and benches: run one SsnModel and report the
+/// three peak-noise figures.
+SwitchingSweepRow measure_noise(const SsnModel& model, double dt, double tstop);
+
+/// Worst-case switching-pattern search ("different combination of drivers
+/// switching", §6.2): greedily grow the set of simultaneously switching
+/// drivers that maximizes the worst shared-plane noise, up to `max_switching`
+/// drivers. Far cheaper than the 2^N exhaustive search and standard practice
+/// for SSN sign-off.
+struct SwitchingPatternResult {
+    std::vector<std::size_t> pattern; ///< driver sites chosen, in pick order
+    VectorD noise_after;              ///< worst noise after each pick [V]
+};
+SwitchingPatternResult find_worst_switching_pattern(
+    std::shared_ptr<const PlaneModel> plane, std::size_t max_switching,
+    const Source& switching_input, double dt, double tstop);
+
+} // namespace pgsi

@@ -1,0 +1,136 @@
+#include "tline2d/mtl_extract.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "numeric/lu.hpp"
+
+namespace pgsi {
+
+namespace {
+
+struct Segment {
+    double x0 = 0, x1 = 0;
+    std::size_t conductor = 0;
+    double width() const { return x1 - x0; }
+    double center() const { return 0.5 * (x0 + x1); }
+};
+
+// ∫ ln|x - x'| dx' over [a, b] — antiderivative u·ln|u| − u of ln|u|.
+double log_segment_integral(double x, double a, double b) {
+    auto f = [](double u) { return u == 0.0 ? 0.0 : u * std::log(std::abs(u)) - u; };
+    return f(x - a) - f(x - b);
+}
+
+// ∫ 0.5·ln((x - x')² + z²) dx' over [a, b].
+double log_segment_integral_z(double x, double a, double b, double z) {
+    auto h = [z](double u) {
+        const double r2 = u * u + z * z;
+        double v = -u;
+        if (r2 > 0) v += 0.5 * u * std::log(r2);
+        if (z != 0.0) v += z * std::atan(u / z);
+        return v;
+    };
+    return h(x - a) - h(x - b);
+}
+
+std::vector<Segment> segment_strips(const std::vector<StripSpec>& strips,
+                                    const Mtl2dOptions& opt) {
+    std::vector<Segment> segs;
+    for (std::size_t c = 0; c < strips.size(); ++c) {
+        const StripSpec& s = strips[c];
+        PGSI_REQUIRE(s.width > 0, "extract_microstrip: strip width must be > 0");
+        const double x0 = s.x_center - 0.5 * s.width;
+        const int n = opt.segments_per_strip;
+        for (int k = 0; k < n; ++k) {
+            double f0 = static_cast<double>(k) / n;
+            double f1 = static_cast<double>(k + 1) / n;
+            if (opt.cosine_spacing) {
+                f0 = 0.5 * (1.0 - std::cos(pi * f0));
+                f1 = 0.5 * (1.0 - std::cos(pi * f1));
+            }
+            segs.push_back({x0 + f0 * s.width, x0 + f1 * s.width, c});
+        }
+    }
+    return segs;
+}
+
+// Maxwell capacitance matrix for the given permittivity.
+MatrixD capacitance_for(const std::vector<Segment>& segs, std::size_t n_cond,
+                        double eps_r, double h, int max_images) {
+    const std::size_t n = segs.size();
+    const double k = (eps_r - 1.0) / (eps_r + 1.0);
+    const double eps_bar = 0.5 * eps0 * (1.0 + eps_r);
+    // Image coefficients a_i = -(1+K)(-K)^{i-1} (see em/greens.hpp).
+    VectorD coeff;
+    double c = -(1.0 + k);
+    for (int i = 0; i < max_images; ++i) {
+        coeff.push_back(c);
+        c *= -k;
+        if (std::abs(c) < 1e-9) break;
+    }
+
+    // Potential-coefficient matrix per unit total line charge.
+    MatrixD p(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = segs[i].center();
+        for (std::size_t j = 0; j < n; ++j) {
+            double v = -log_segment_integral(x, segs[j].x0, segs[j].x1);
+            for (std::size_t m = 0; m < coeff.size(); ++m)
+                v -= coeff[m] * log_segment_integral_z(
+                                    x, segs[j].x0, segs[j].x1,
+                                    2.0 * static_cast<double>(m + 1) * h);
+            p(i, j) = v / (2.0 * pi * eps_bar * segs[j].width());
+        }
+    }
+
+    const Lu<double> lu(std::move(p));
+    MatrixD cm(n_cond, n_cond);
+    VectorD rhs(n);
+    for (std::size_t cexc = 0; cexc < n_cond; ++cexc) {
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = (segs[i].conductor == cexc) ? 1.0 : 0.0;
+        const VectorD q = lu.solve(rhs);
+        for (std::size_t i = 0; i < n; ++i) cm(segs[i].conductor, cexc) += q[i];
+    }
+    // Symmetrize (reciprocity holds analytically).
+    for (std::size_t i = 0; i < n_cond; ++i)
+        for (std::size_t j = i + 1; j < n_cond; ++j) {
+            const double v = 0.5 * (cm(i, j) + cm(j, i));
+            cm(i, j) = v;
+            cm(j, i) = v;
+        }
+    return cm;
+}
+
+} // namespace
+
+MtlParameters extract_microstrip(const std::vector<StripSpec>& strips,
+                                 double eps_r, double h,
+                                 const Mtl2dOptions& options) {
+    PGSI_REQUIRE(!strips.empty(), "extract_microstrip: no strips");
+    PGSI_REQUIRE(eps_r >= 1.0, "extract_microstrip: eps_r must be >= 1");
+    PGSI_REQUIRE(h > 0, "extract_microstrip: slab height must be positive");
+
+    const std::vector<Segment> segs = segment_strips(strips, options);
+    MtlParameters out;
+    out.c = capacitance_for(segs, strips.size(), eps_r, h, options.slab_images);
+    const MatrixD c_air =
+        capacitance_for(segs, strips.size(), 1.0, h, options.slab_images);
+    out.l = Lu<double>(c_air).inverse() * (mu0 * eps0);
+    return out;
+}
+
+LineFigures line_figures(const MtlParameters& p) {
+    PGSI_REQUIRE(p.l.rows() == 1 && p.c.rows() == 1,
+                 "line_figures: single conductor expected");
+    LineFigures f;
+    const double l = p.l(0, 0), c = p.c(0, 0);
+    f.z0 = std::sqrt(l / c);
+    f.delay_per_m = std::sqrt(l * c);
+    f.eps_eff = l * c * c0 * c0;
+    return f;
+}
+
+} // namespace pgsi

@@ -1,0 +1,53 @@
+// Fast 2-D field solver for multiconductor transmission-line parameters
+// (§5.2: "Fast 2-D field solver is used to extract the transmission line
+// parameters").
+//
+// Infinitely thin strips on the surface of a grounded dielectric slab
+// (microstrip) or embedded in a homogeneous dielectric over a ground plane
+// (stripline-like) are discretized into line-charge segments; the 2-D
+// potential-coefficient matrix uses the logarithmic kernel with the same
+// image series as the 3-D extractor. Per-unit-length matrices follow the
+// standard quasi-TEM recipe:
+//
+//     [C]  — solve P·q = v with unit-potential excitations (with dielectric)
+//     [C0] — the same with εr = 1
+//     [L]  = μ0 ε0 [C0]⁻¹
+//
+// Edge charge crowding is resolved by cosine-spaced segment boundaries.
+#pragma once
+
+#include <vector>
+
+#include "circuit/tline.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// One strip of a planar multiconductor system.
+struct StripSpec {
+    double x_center = 0; ///< lateral position of the strip center [m]
+    double width = 0;    ///< strip width [m]
+};
+
+/// 2-D extraction controls.
+struct Mtl2dOptions {
+    int segments_per_strip = 32;
+    bool cosine_spacing = true; ///< refine segments toward strip edges
+    int slab_images = 64;       ///< image-series truncation
+};
+
+/// Per-unit-length matrices of coupled microstrips: strips on a dielectric
+/// slab (relative permittivity eps_r, thickness h) backed by a ground plane.
+MtlParameters extract_microstrip(const std::vector<StripSpec>& strips,
+                                 double eps_r, double h,
+                                 const Mtl2dOptions& options = {});
+
+/// Scalar figures of a single line, derived from 1×1 L and C.
+struct LineFigures {
+    double z0 = 0;      ///< characteristic impedance [ohm]
+    double eps_eff = 0; ///< effective permittivity
+    double delay_per_m = 0; ///< [s/m]
+};
+LineFigures line_figures(const MtlParameters& p);
+
+} // namespace pgsi

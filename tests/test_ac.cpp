@@ -1,0 +1,101 @@
+// Tests for the AC small-signal analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/constants.hpp"
+
+using namespace pgsi;
+
+TEST(Ac, RcLowpass) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", in, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    const double r = 1e3, c = 1e-9;
+    nl.add_resistor("R1", in, out, r);
+    nl.add_capacitor("C1", out, nl.ground(), c);
+    const double f3db = 1.0 / (2 * pi * r * c);
+    const AcSolution s = ac_analyze(nl, f3db);
+    EXPECT_NEAR(std::abs(s.v(out)), 1.0 / std::sqrt(2.0), 1e-6);
+    EXPECT_NEAR(std::arg(s.v(out)), -pi / 4, 1e-6);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId m = nl.node("m");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", in, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    const double r = 10.0, l = 100e-9, c = 100e-12;
+    nl.add_resistor("R1", in, m, r);
+    nl.add_inductor("L1", m, out, l);
+    nl.add_capacitor("C1", out, nl.ground(), c);
+    const double f0 = 1.0 / (2 * pi * std::sqrt(l * c));
+    // At resonance the current is limited only by R: I = 1/R, and the
+    // voltage across the capacitor is Q = (1/R)·sqrt(L/C).
+    const AcSolution s = ac_analyze(nl, f0);
+    const double q = std::sqrt(l / c) / r;
+    EXPECT_NEAR(std::abs(s.v(out)), q, 0.01 * q);
+}
+
+TEST(Ac, InductorSeriesResistance) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    nl.add_vsource("V1", in, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    nl.add_inductor("L1", in, nl.ground(), 1e-6, 50.0);
+    const AcSolution s = ac_analyze(nl, 1e3); // ωL tiny: current ≈ 1/50
+    EXPECT_NEAR(std::abs(s.vsource_current[0]), 1.0 / 50.0, 1e-4);
+}
+
+TEST(Ac, MutualCouplingTransformer) {
+    // Perfect-ish transformer: k = 0.999, equal L. Secondary open: V2 ≈ k·V1.
+    Netlist nl;
+    const NodeId p = nl.node("p");
+    const NodeId s2 = nl.node("s");
+    nl.add_vsource("V1", p, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    nl.add_inductor("Lp", p, nl.ground(), 1e-6);
+    nl.add_inductor("Ls", s2, nl.ground(), 1e-6);
+    nl.add_mutual("K1", "Lp", "Ls", 0.999);
+    // Tiny load so the secondary node is not floating.
+    nl.add_resistor("Rl", s2, nl.ground(), 1e9);
+    const AcSolution sol = ac_analyze(nl, 10e6);
+    EXPECT_NEAR(std::abs(sol.v(s2)), 0.999, 5e-3);
+}
+
+TEST(Ac, CurrentSourceIntoR) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_isource("I1", nl.ground(), a, Source::dc(0.0).set_ac(2e-3));
+    nl.add_resistor("R1", a, nl.ground(), 500.0);
+    const AcSolution s = ac_analyze(nl, 1e6);
+    EXPECT_NEAR(std::abs(s.v(a)), 1.0, 1e-9);
+}
+
+TEST(Ac, SweepGrids) {
+    const VectorD lg = log_space(1e6, 1e9, 10);
+    EXPECT_NEAR(lg.front(), 1e6, 1.0);
+    EXPECT_NEAR(lg.back(), 1e9, 1.0);
+    EXPECT_EQ(lg.size(), 31u);
+    const VectorD ln = lin_space(0.0, 10.0, 11);
+    EXPECT_DOUBLE_EQ(ln[5], 5.0);
+}
+
+TEST(Ac, TlineQuarterWaveTransformer) {
+    // A quarter-wave line of impedance Z0 transforms a load R_L to Z0²/R_L.
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    MtlParameters p;
+    p.l = MatrixD{{250e-9}};
+    p.c = MatrixD{{100e-12}}; // Z0 = 50 Ω, v = 2e8 m/s
+    const double len = 0.5;   // delay 2.5 ns -> quarter wave at 100 MHz
+    auto model = std::make_shared<ModalTline>(p, len);
+    nl.add_tline("T1", {in}, {out}, model);
+    nl.add_resistor("Rload", out, nl.ground(), 100.0);
+    // Drive with 1 A AC current, measure input impedance as V(in).
+    nl.add_isource("I1", nl.ground(), in, Source::dc(0.0).set_ac(1.0));
+    const AcSolution s = ac_analyze(nl, 100e6);
+    EXPECT_NEAR(std::abs(s.v(in)), 2500.0 / 100.0, 0.5);
+}

@@ -1,0 +1,99 @@
+// Tests for the board-description file format.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "si/board_file.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+const char* kDeck = R"(# demo board
+board 0.12 0.08
+stackup sep 0.5m eps 4.5 sheet 0.6m
+vdd 3.3
+vrm 0.01 0.012
+cutout 0.02 0.02 0.04 0.03
+driver d0 vcc 0.08 0.05 gnd 0.08 0.04 ron_up 22 ron_dn 18 load 25p switch rise 0.8n delay 1n width 5n
+driver d1 vcc 0.09 0.05 gnd 0.09 0.04
+decap 0.085 0.045 c 100n esr 30m esl 1n
+stitch 0.05 0.05
+)";
+
+} // namespace
+
+TEST(BoardFile, ParsesAllDirectives) {
+    const Board b = parse_board_file(kDeck);
+    EXPECT_DOUBLE_EQ(b.width(), 0.12);
+    EXPECT_DOUBLE_EQ(b.height(), 0.08);
+    EXPECT_DOUBLE_EQ(b.stackup().plane_separation, 0.5e-3);
+    EXPECT_DOUBLE_EQ(b.stackup().eps_r, 4.5);
+    EXPECT_DOUBLE_EQ(b.vdd(), 3.3);
+    EXPECT_DOUBLE_EQ(b.vrm_location().y, 0.012);
+    ASSERT_EQ(b.power_plane_cutouts().size(), 1u);
+    ASSERT_EQ(b.driver_sites().size(), 2u);
+    ASSERT_EQ(b.decaps().size(), 1u);
+    ASSERT_EQ(b.gnd_stitches().size(), 1u);
+
+    const DriverSite& d0 = b.driver_sites()[0];
+    EXPECT_DOUBLE_EQ(d0.driver.ron_up, 22.0);
+    EXPECT_DOUBLE_EQ(d0.load_c, 25e-12);
+    // Switching stimulus parsed: logic high mid pulse.
+    EXPECT_DOUBLE_EQ(d0.driver.input.value(3e-9), 1.0);
+    // d1 stays quiet.
+    EXPECT_DOUBLE_EQ(b.driver_sites()[1].driver.input.value(3e-9), 0.0);
+
+    EXPECT_DOUBLE_EQ(b.decaps()[0].c, 100e-9);
+    EXPECT_DOUBLE_EQ(b.decaps()[0].esl, 1e-9);
+}
+
+TEST(BoardFile, RoundTripsThroughWriter) {
+    const Board a = parse_board_file(kDeck);
+    const Board b = parse_board_file(board_file_string(a));
+    EXPECT_DOUBLE_EQ(a.width(), b.width());
+    EXPECT_DOUBLE_EQ(a.stackup().plane_separation, b.stackup().plane_separation);
+    ASSERT_EQ(a.driver_sites().size(), b.driver_sites().size());
+    for (std::size_t i = 0; i < a.driver_sites().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.driver_sites()[i].vcc_pin.x,
+                         b.driver_sites()[i].vcc_pin.x);
+        EXPECT_DOUBLE_EQ(a.driver_sites()[i].driver.ron_up,
+                         b.driver_sites()[i].driver.ron_up);
+    }
+    ASSERT_EQ(a.decaps().size(), b.decaps().size());
+    EXPECT_DOUBLE_EQ(a.decaps()[0].esr, b.decaps()[0].esr);
+}
+
+TEST(BoardFile, RoundTripsSwitchingStimulus) {
+    const Board a = parse_board_file(kDeck);
+    const Board b = parse_board_file(board_file_string(a));
+    // d0's pulse survives: logic high mid-pulse, low before the delay.
+    EXPECT_DOUBLE_EQ(b.driver_sites()[0].driver.input.value(3e-9), 1.0);
+    EXPECT_DOUBLE_EQ(b.driver_sites()[0].driver.input.value(0.5e-9), 0.0);
+    const Source::PulseParams p = b.driver_sites()[0].driver.input.pulse_params();
+    EXPECT_DOUBLE_EQ(p.rise, 0.8e-9);
+    EXPECT_DOUBLE_EQ(p.delay, 1e-9);
+    EXPECT_DOUBLE_EQ(p.width, 5e-9);
+    // d1 stays DC.
+    EXPECT_EQ(b.driver_sites()[1].driver.input.kind(), Source::Kind::Dc);
+}
+
+TEST(BoardFile, ErrorsCarryLineNumbers) {
+    try {
+        parse_board_file("board 0.1 0.1\nstackup sep 1m\nbogus 1 2\n");
+        FAIL() << "expected parse error";
+    } catch (const InvalidArgument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(BoardFile, MissingMandatoryLines) {
+    EXPECT_THROW(parse_board_file("vdd 5\n"), InvalidArgument);
+    EXPECT_THROW(parse_board_file("board 0.1 0.1\nvdd 5\n"), InvalidArgument);
+}
+
+TEST(BoardFile, DriverValidation) {
+    EXPECT_THROW(
+        parse_board_file("board .1 .1\nstackup sep 1m\n"
+                         "driver d0 vcc 0.05 0.05 ron_up 20 x y z\n"),
+        InvalidArgument);
+}

@@ -1,0 +1,134 @@
+// Tests for the analytic cavity-resonator plane model, including the
+// three-way cross-validation: analytic cavity vs BEM direct solve vs
+// extracted equivalent circuit on the same plane pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "em/cavity_model.hpp"
+#include "em/solver.hpp"
+#include "extract/equivalent_circuit.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+CavityModel test_cavity() {
+    CavityModel c;
+    c.a = 0.04;
+    c.b = 0.03;
+    c.d = 0.5e-3;
+    c.eps_r = 4.5;
+    c.rs_total = 2e-3;
+    c.max_modes = 50;
+    c.port_w = 2e-3;
+    c.port_h = 2e-3;
+    return c;
+}
+
+} // namespace
+
+TEST(Cavity, StaticCapacitanceLimit) {
+    CavityModel c = test_cavity();
+    // At low frequency the (0,0) mode dominates: Z ≈ 1/(jωC). Use the
+    // lossless cavity — at 1 MHz the conductor term Rs/(ωμ0 d) otherwise
+    // contributes a large effective loss tangent (physical, but not what
+    // this limit checks).
+    c.rs_total = 0;
+    const double f = 1e6;
+    const Complex z = c.impedance({0.01, 0.01}, {0.01, 0.01}, f);
+    const double expect = 1.0 / (2 * pi * f * c.static_capacitance());
+    EXPECT_NEAR(std::abs(z), expect, 0.01 * expect);
+    EXPECT_LT(z.imag(), 0.0);
+}
+
+TEST(Cavity, ModeFrequencies) {
+    const CavityModel c = test_cavity();
+    EXPECT_NEAR(c.mode_frequency(1, 0), c0 / std::sqrt(4.5) / (2 * 0.04), 1.0);
+    EXPECT_NEAR(c.mode_frequency(0, 1), c0 / std::sqrt(4.5) / (2 * 0.03), 1.0);
+    EXPECT_GT(c.mode_frequency(1, 1), c.mode_frequency(1, 0));
+    EXPECT_THROW(c.mode_frequency(0, 0), InvalidArgument);
+}
+
+TEST(Cavity, ImpedancePeaksAtFirstMode) {
+    const CavityModel c = test_cavity();
+    const double f10 = c.mode_frequency(1, 0);
+    // |Z| at the plane edge rises sharply at the resonance compared to 20%
+    // off resonance.
+    const Point2 p{0.002, 0.015};
+    const double at = std::abs(c.impedance(p, p, f10));
+    const double off = std::abs(c.impedance(p, p, 0.8 * f10));
+    EXPECT_GT(at, 3.0 * off);
+}
+
+TEST(Cavity, ReciprocityAndSymmetry) {
+    const CavityModel c = test_cavity();
+    const MatrixC z = c.impedance_matrix({{0.005, 0.005}, {0.035, 0.025}}, 2e9);
+    EXPECT_NEAR(std::abs(z(0, 1) - z(1, 0)), 0.0, 1e-12 * std::abs(z(0, 1)));
+}
+
+TEST(Cavity, LossDampsResonance) {
+    CavityModel lossless = test_cavity();
+    lossless.rs_total = 0;
+    CavityModel lossy = test_cavity();
+    lossy.tan_delta = 0.05;
+    const double f10 = lossless.mode_frequency(1, 0);
+    const Point2 p{0.002, 0.015};
+    EXPECT_GT(std::abs(lossless.impedance(p, p, f10)),
+              2.0 * std::abs(lossy.impedance(p, p, f10)));
+}
+
+TEST(Cavity, ThreeWayAgreementWithBemAndCircuit) {
+    // Same plane pair through the analytic cavity, the direct BEM solve and
+    // the extracted equivalent circuit.
+    const CavityModel cav = test_cavity();
+
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, cav.a, cav.b);
+    s.z = cav.d;
+    s.sheet_resistance = 1e-3; // per plane; cavity carries both -> 2e-3 total
+    const PlaneBem bem(RectMesh({s}, cav.a / 16), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const DirectSolver direct(bem, SurfaceImpedance::from_sheet_resistance(1e-3));
+    const EquivalentCircuit ec =
+        CircuitExtractor(bem, ExtractionOptions{0.0, true, false}).extract_full();
+
+    const Point2 pos{0.005, 0.0075};
+    const std::size_t port = bem.mesh().nearest_node(pos, 0);
+    const Point2 snapped = bem.mesh().nodes()[port].center;
+
+    // Compare below and between the first resonances (analytic model and
+    // quasi-static BEM share assumptions there).
+    for (double f : {50e6, 200e6, 600e6}) {
+        const double za = std::abs(cav.impedance(snapped, snapped, f));
+        const double zb = std::abs(direct.port_impedance(f, {port})(0, 0));
+        const double zc = std::abs(ec.impedance(f, {port})(0, 0));
+        EXPECT_NEAR(zb, za, 0.10 * za) << "BEM vs cavity at f=" << f;
+        EXPECT_NEAR(zc, za, 0.10 * za) << "circuit vs cavity at f=" << f;
+    }
+}
+
+TEST(Cavity, FirstResonanceMatchesBem) {
+    const CavityModel cav = test_cavity();
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, cav.a, cav.b);
+    s.z = cav.d;
+    const PlaneBem bem(RectMesh({s}, cav.a / 16), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const EquivalentCircuit ec =
+        CircuitExtractor(bem, ExtractionOptions{0.0, true, false}).extract_full();
+    const std::size_t port = bem.mesh().nearest_node({0.002, 0.015}, 0);
+
+    // Scan for the first |Z| peak of the extracted circuit.
+    double best_f = 0, best = 0;
+    const double f10 = cav.mode_frequency(1, 0);
+    for (double f = 0.6 * f10; f <= 1.4 * f10; f += f10 / 200) {
+        const double z = std::abs(ec.impedance(f, {port})(0, 0));
+        if (z > best) {
+            best = z;
+            best_f = f;
+        }
+    }
+    EXPECT_NEAR(best_f, f10, 0.08 * f10);
+}

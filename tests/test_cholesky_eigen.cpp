@@ -1,0 +1,102 @@
+// Tests for Cholesky factorization and the Jacobi symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/eigen.hpp"
+#include "numeric/lu.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+MatrixD random_spd(int n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD b(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) b(i, j) = u(rng);
+    MatrixD a = b * b.transposed();
+    for (int i = 0; i < n; ++i) a(i, i) += 0.5;
+    return a;
+}
+
+} // namespace
+
+TEST(Cholesky, SolveMatchesLu) {
+    const MatrixD a = random_spd(6, 7);
+    VectorD b(6);
+    for (int i = 0; i < 6; ++i) b[i] = i + 1;
+    const VectorD xc = Cholesky(a).solve(b);
+    const VectorD xl = Lu<double>(a).solve(b);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(xc[i], xl[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+    const MatrixD a{{1, 2}, {2, 1}}; // eigenvalues 3, -1
+    EXPECT_THROW((Cholesky{a}), NumericalError);
+    EXPECT_FALSE(is_spd(a));
+    EXPECT_TRUE(is_spd(random_spd(4, 3)));
+}
+
+TEST(Cholesky, FactorReconstructs) {
+    const MatrixD a = random_spd(5, 11);
+    const MatrixD g = Cholesky(a).factor();
+    const MatrixD r = g * g.transposed();
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j) EXPECT_NEAR(r(i, j), a(i, j), 1e-10);
+}
+
+TEST(EigenSymmetric, Diagonal) {
+    const MatrixD a{{3, 0}, {0, 1}};
+    const SymmetricEigen e = eigen_symmetric(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(EigenSymmetric, Known2x2) {
+    const MatrixD a{{2, 1}, {1, 2}};
+    const SymmetricEigen e = eigen_symmetric(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(EigenSymmetric, RejectsAsymmetric) {
+    const MatrixD a{{1, 2}, {0, 1}};
+    EXPECT_THROW(eigen_symmetric(a), InvalidArgument);
+}
+
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, ReconstructsMatrix) {
+    const int n = GetParam();
+    const MatrixD a = random_spd(n, 100 + n);
+    const SymmetricEigen e = eigen_symmetric(a);
+    // A = V diag(w) V^T
+    MatrixD d(n, n);
+    for (int i = 0; i < n; ++i) d(i, i) = e.values[i];
+    const MatrixD r = e.vectors * d * e.vectors.transposed();
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) EXPECT_NEAR(r(i, j), a(i, j), 1e-8);
+    // Eigenvalues of an SPD matrix are positive and sorted.
+    for (int i = 0; i < n; ++i) EXPECT_GT(e.values[i], 0.0);
+    for (int i = 1; i < n; ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty, ::testing::Values(2, 3, 4, 6, 10, 16));
+
+TEST(EigenSpdProduct, DiagonalizesLC) {
+    const MatrixD l = random_spd(3, 21);
+    const MatrixD c = random_spd(3, 22);
+    const ProductEigen pe = eigen_spd_product(l, c);
+    // (L C) t_k = w_k t_k for each column.
+    const MatrixD lc = l * c;
+    for (int k = 0; k < 3; ++k) {
+        VectorD t(3);
+        for (int i = 0; i < 3; ++i) t[i] = pe.t(i, k);
+        const VectorD lct = lc * t;
+        for (int i = 0; i < 3; ++i)
+            EXPECT_NEAR(lct[i], pe.values[k] * t[i], 1e-8 * (1.0 + pe.values[k]));
+    }
+}

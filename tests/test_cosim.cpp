@@ -1,0 +1,186 @@
+// Tests for the SSN co-simulation layer: plane-model construction,
+// monolithic simulation sanity, and the partitioned scheme against the
+// monolithic one. Uses a small synthetic board so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/cosim.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+Board tiny_board(int switching) {
+    BoardStackup st;
+    st.plane_separation = 0.5e-3;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 1e-3;
+    Board b(0.08, 0.06, st, 5.0);
+    b.set_vrm_location({0.005, 0.005});
+    for (int d = 0; d < 2; ++d) {
+        DriverSite s;
+        s.name = "d" + std::to_string(d);
+        s.vcc_pin = {0.05 + 0.01 * d, 0.035};
+        s.gnd_pin = {0.05 + 0.01 * d, 0.025};
+        s.load_c = 20e-12;
+        if (d < switching)
+            s.driver.input = Source::pulse(0, 1, 0.5e-9, 0.5e-9, 0.5e-9, 4e-9);
+        b.add_driver_site(s);
+    }
+    return b;
+}
+
+SsnModelOptions fast_options() {
+    SsnModelOptions o;
+    o.mesh_pitch = 0.01;
+    o.interior_nodes = 6;
+    o.prune_rel_tol = 0.02;
+    return o;
+}
+
+} // namespace
+
+TEST(Cosim, PlaneModelBuilds) {
+    const Board b = tiny_board(1);
+    const PlaneModel pm(b, fast_options());
+    EXPECT_GT(pm.circuit().node_count(), 6u);
+    // Site ports land on the meshed power plane at the stackup height, and
+    // the model carries a reference (the ground plane through image theory).
+    const EquivalentCircuit& ec = pm.circuit();
+    EXPECT_TRUE(ec.has_reference);
+    EXPECT_NEAR(ec.node_z[pm.site_vcc_node(0)], 0.5e-3, 1e-12);
+    EXPECT_NE(pm.site_vcc_node(0), pm.site_vcc_node(1));
+    EXPECT_GT(ec.total_reference_capacitance(), 0.0);
+}
+
+TEST(Cosim, DcOperatingPointIsVdd) {
+    auto plane = std::make_shared<PlaneModel>(tiny_board(0), fast_options());
+    const SsnModel model(plane);
+    const DcSolution dc = dc_operating_point(model.netlist());
+    // Quiet board: every die Vcc sits near Vdd, die Gnd near 0. The DC point
+    // of a reduced plane model carries a sub-percent offset from the
+    // inductor-loop regularization interacting with branch pruning.
+    for (std::size_t s = 0; s < 2; ++s) {
+        EXPECT_NEAR(dc.v(model.die_vcc(s)), 5.0, 0.05);
+        EXPECT_NEAR(dc.v(model.die_gnd(s)), 0.0, 0.05);
+        EXPECT_NEAR(dc.v(model.out(s)), 0.0, 0.05);
+    }
+}
+
+TEST(Cosim, SwitchingCreatesNoiseQuietDoesNot) {
+    const SsnModelOptions opt = fast_options();
+    auto quiet_plane = std::make_shared<PlaneModel>(tiny_board(0), opt);
+    auto loud_plane = std::make_shared<PlaneModel>(tiny_board(2), opt);
+    const double dt = 20e-12, tstop = 4e-9;
+
+    const SsnModel quiet(quiet_plane);
+    const TransientResult rq = quiet.simulate(dt, tstop);
+    EXPECT_LT(rq.peak_excursion(quiet.die_gnd(0)), 1e-6);
+
+    const SsnModel loud(loud_plane);
+    const TransientResult rl = loud.simulate(dt, tstop);
+    EXPECT_GT(rl.peak_excursion(loud.die_gnd(0)), 0.01);
+    // Outputs actually switch high.
+    EXPECT_GT(rl.waveform(loud.out(0)).back(), 4.0);
+}
+
+TEST(Cosim, MoreSwitchingMorePlaneNoise) {
+    // Die-level ground bounce is dominated by each site's own pin inductance
+    // and saturates; the *shared* power-plane noise scales with how many
+    // drivers switch — that is the SSN effect of §6.2.
+    const SsnModelOptions opt = fast_options();
+    const double dt = 20e-12, tstop = 4e-9;
+    auto plane_noise = [&](int switching) {
+        auto p = std::make_shared<PlaneModel>(tiny_board(switching), opt);
+        const SsnModel m(p);
+        const TransientResult r = m.simulate(dt, tstop);
+        return std::max(r.peak_excursion(m.board_vcc(0)),
+                        r.peak_excursion(m.board_vcc(1)));
+    };
+    const double noise1 = plane_noise(1);
+    const double noise2 = plane_noise(2);
+    EXPECT_GT(noise2, 1.2 * noise1);
+}
+
+TEST(Cosim, PartitionedTracksMonolithic) {
+    const SsnModelOptions opt = fast_options();
+    auto plane = std::make_shared<PlaneModel>(tiny_board(2), opt);
+    const double dt = 10e-12, tstop = 4e-9;
+
+    const SsnModel mono(plane);
+    const TransientResult rm = mono.simulate(dt, tstop);
+    const double mono_peak = rm.peak_excursion(mono.die_gnd(0));
+
+    PartitionedCosim part(plane, dt);
+    const PartitionedCosim::Result rp = part.run(tstop);
+    double part_peak = 0;
+    for (double v : rp.die_gnd[0])
+        part_peak = std::max(part_peak, std::abs(v - rp.die_gnd[0].front()));
+
+    // The per-step relaxation lags one dt; peaks agree to ~25%.
+    EXPECT_NEAR(part_peak, mono_peak, 0.25 * mono_peak + 1e-3);
+}
+
+TEST(Cosim, DecapReducesPlaneNoise) {
+    Board with = tiny_board(2);
+    Decap d;
+    d.pos = {0.05, 0.03};
+    d.c = 100e-9;
+    d.esr = 20e-3;
+    d.esl = 0.6e-9;
+    with.add_decap(d);
+    const SsnModelOptions opt = fast_options();
+    auto plane = std::make_shared<PlaneModel>(with, opt);
+    const double dt = 20e-12, tstop = 4e-9;
+
+    const SsnModel no_decap(plane, 0);
+    const SsnModel yes_decap(plane, 1);
+    const TransientResult r0 = no_decap.simulate(dt, tstop);
+    const TransientResult r1 = yes_decap.simulate(dt, tstop);
+    const double n0 = r0.peak_excursion(no_decap.board_vcc(0));
+    const double n1 = r1.peak_excursion(yes_decap.board_vcc(0));
+    EXPECT_LT(n1, n0);
+}
+
+TEST(Cosim, SignalNetDeliversEdgeAndCouplesNoise) {
+    // Fourth subsystem (Fig. 3): a 50-ohm, 0.5 ns net carries the switching
+    // edge from driver 0's output to a terminated receiver, while the
+    // driver keeps drawing its supply current from the plane.
+    Board b = tiny_board(1);
+    SignalNet net;
+    net.driver_site = 0;
+    net.z0 = 50.0;
+    net.delay = 0.5e-9;
+    net.receiver_c = 4e-12;
+    net.term_r = 50.0;
+    b.add_signal_net(net);
+    auto plane = std::make_shared<PlaneModel>(b, fast_options());
+    const SsnModel m(plane);
+
+    TransientOptions opt;
+    opt.dt = 20e-12;
+    opt.tstop = 6e-9;
+    opt.probes = {m.out(0), m.receiver(0), m.die_gnd(0)};
+    const TransientResult r = transient_analyze(m.netlist(), opt);
+
+    const VectorD w_out = r.waveform(m.out(0));
+    const VectorD w_rx = r.waveform(m.receiver(0));
+    // The edge arrives at the receiver about one delay after the output
+    // crosses mid-rail.
+    auto crossing = [&](const VectorD& w, double level) {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            if (w[i] > level) return r.time[i];
+        return -1.0;
+    };
+    const double t_out = crossing(w_out, 1.0);
+    const double t_rx = crossing(w_rx, 1.0);
+    ASSERT_GT(t_out, 0.0);
+    ASSERT_GT(t_rx, 0.0);
+    EXPECT_NEAR(t_rx - t_out, 0.5e-9, 0.2e-9);
+    // Terminated line settles near half the drive? No: 50-ohm parallel
+    // termination against the driver pull-up divider - just check the
+    // receiver sees a healthy swing and the supply still bounces.
+    EXPECT_GT(max_abs(w_rx), 1.5);
+    EXPECT_GT(r.peak_excursion(m.die_gnd(0)), 0.01);
+}

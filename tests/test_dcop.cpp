@@ -1,0 +1,104 @@
+// Tests for the DC operating point.
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+
+using namespace pgsi;
+
+TEST(DcOp, VoltageDivider) {
+    Netlist nl;
+    const NodeId vin = nl.node("in");
+    const NodeId mid = nl.node("mid");
+    nl.add_vsource("V1", vin, nl.ground(), Source::dc(10.0));
+    nl.add_resistor("R1", vin, mid, 1e3);
+    nl.add_resistor("R2", mid, nl.ground(), 3e3);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(mid), 7.5, 1e-9);
+    EXPECT_NEAR(s.vsource_current[0], -10.0 / 4e3, 1e-12);
+}
+
+TEST(DcOp, CapacitorIsOpen) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(5.0));
+    nl.add_resistor("R1", a, b, 1e3);
+    nl.add_capacitor("C1", b, nl.ground(), 1e-9);
+    // Pull-down so b is well-defined.
+    nl.add_resistor("R2", b, nl.ground(), 1e6);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(b), 5.0 * 1e6 / (1e6 + 1e3), 1e-6);
+}
+
+TEST(DcOp, InductorIsShort) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(2.0));
+    nl.add_inductor("L1", a, b, 1e-9);
+    nl.add_resistor("R1", b, nl.ground(), 100.0);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(b), 2.0, 1e-9);
+    EXPECT_NEAR(s.inductor_current[0], 0.02, 1e-12);
+}
+
+TEST(DcOp, InductorSeriesResistance) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(2.0));
+    nl.add_inductor("L1", a, b, 1e-9, 100.0);
+    nl.add_resistor("R1", b, nl.ground(), 100.0);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(b), 1.0, 1e-9);
+    EXPECT_NEAR(s.inductor_current[0], 0.01, 1e-12);
+}
+
+TEST(DcOp, CurrentSource) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_isource("I1", nl.ground(), a, Source::dc(1e-3));
+    nl.add_resistor("R1", a, nl.ground(), 1e3);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(a), 1.0, 1e-9); // 1 mA into 1 kΩ
+}
+
+TEST(DcOp, DriverHighAtT0) {
+    Netlist nl;
+    const NodeId vcc = nl.node("vcc");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("Vdd", vcc, nl.ground(), Source::dc(5.0));
+    DriverParams p;
+    p.ron_up = 25;
+    p.ron_dn = 20;
+    p.c_out = 0; // no cap in DC anyway
+    p.input = Source::dc(1.0); // driving high
+    nl.add_driver("D1", out, vcc, nl.ground(), p);
+    nl.add_resistor("Rload", out, nl.ground(), 100.0);
+    const DcSolution s = dc_operating_point(nl);
+    // Output = 5 * 100/(100+25) with the off pull-down negligible.
+    EXPECT_NEAR(s.v(out), 5.0 * 100.0 / 125.0, 0.01);
+}
+
+TEST(DcOp, TlineIsDcShort) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(1.0));
+    MtlParameters p;
+    p.l = MatrixD{{250e-9}};
+    p.c = MatrixD{{100e-12}};
+    auto model = std::make_shared<ModalTline>(p, 0.1);
+    nl.add_tline("T1", {a}, {b}, model);
+    nl.add_resistor("Rload", b, nl.ground(), 50.0);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(b), 1.0, 1e-3);
+}
+
+TEST(DcOp, FloatingCircuitThrows) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_resistor("R1", a, b, 1e3); // no path to ground
+    EXPECT_THROW(dc_operating_point(nl), NumericalError);
+}

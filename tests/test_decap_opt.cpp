@@ -1,0 +1,124 @@
+// Tests for the decap placement optimizer and the PDN impedance profile.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/constants.hpp"
+#include "si/decap_opt.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// Two switching drivers clustered at the right side; candidate decaps: one
+// next to the chip, one at the far corner, one mid-board.
+Board opt_board() {
+    BoardStackup st;
+    st.plane_separation = 0.5e-3;
+    st.eps_r = 4.5;
+    st.sheet_resistance = 0.6e-3;
+    Board b(0.09, 0.06, st, 3.3);
+    b.set_vrm_location({0.008, 0.008});
+    for (int d = 0; d < 2; ++d) {
+        DriverSite s;
+        s.name = "d" + std::to_string(d);
+        s.vcc_pin = {0.07 + 0.006 * d, 0.04};
+        s.gnd_pin = {0.07 + 0.006 * d, 0.03};
+        s.load_c = 25e-12;
+        s.driver.input = Source::pulse(0, 1, 0.4e-9, 0.6e-9, 0.6e-9, 4e-9);
+        b.add_driver_site(s);
+    }
+    Decap proto;
+    proto.c = 100e-9;
+    proto.esr = 25e-3;
+    proto.esl = 0.8e-9;
+    Decap near = proto;
+    near.pos = {0.075, 0.035};     // candidate 0: next to the chip
+    Decap far = proto;
+    far.pos = {0.01, 0.05};        // candidate 1: far corner
+    Decap mid = proto;
+    mid.pos = {0.045, 0.03};       // candidate 2: mid board
+    b.add_decap(near);
+    b.add_decap(far);
+    b.add_decap(mid);
+    return b;
+}
+
+SsnModelOptions fast_options() {
+    SsnModelOptions o;
+    o.mesh_pitch = 9e-3;
+    o.interior_nodes = 6;
+    o.prune_rel_tol = 0.03;
+    return o;
+}
+
+} // namespace
+
+TEST(DecapOpt, PicksNearChipFirstAndReducesNoise) {
+    auto plane = std::make_shared<PlaneModel>(opt_board(), fast_options());
+    const DecapPlacementResult res =
+        optimize_decap_placement(plane, 3, 25e-12, 5e-9);
+    ASSERT_FALSE(res.picks.empty());
+    // The near-chip candidate is the most effective single decap.
+    EXPECT_EQ(res.picks.front().candidate, 0u);
+    // Every pick improves monotonically on the baseline.
+    double prev = res.baseline_noise;
+    for (const DecapPick& p : res.picks) {
+        EXPECT_LT(p.noise_after, prev);
+        prev = p.noise_after;
+    }
+}
+
+TEST(DecapOpt, StopsWhenNoCandidateHelps) {
+    auto plane = std::make_shared<PlaneModel>(opt_board(), fast_options());
+    // Huge min_gain: nothing can improve the objective by 90% in one pick.
+    const DecapPlacementResult res =
+        optimize_decap_placement(plane, 3, 25e-12, 5e-9,
+                                 DecapObjective::PlaneNoise, 0.9);
+    EXPECT_TRUE(res.picks.empty());
+}
+
+TEST(DecapOpt, SubsetModelMatchesPrefixModel) {
+    auto plane = std::make_shared<PlaneModel>(opt_board(), fast_options());
+    const SsnModel by_count(plane, std::size_t{2});
+    const SsnModel by_subset(plane, std::vector<std::size_t>{0, 1});
+    // Identical element counts imply identical populations.
+    EXPECT_EQ(by_count.netlist().capacitors().size(),
+              by_subset.netlist().capacitors().size());
+    EXPECT_EQ(by_count.netlist().inductors().size(),
+              by_subset.netlist().inductors().size());
+}
+
+TEST(DecapOpt, PdnProfileShapes) {
+    auto plane = std::make_shared<PlaneModel>(opt_board(), fast_options());
+    const VectorD freqs = log_space(1e6, 2e9, 6);
+    const SsnModel bare(plane, std::size_t{0});
+    const SsnModel with(plane, std::vector<std::size_t>{0});
+    const VectorD z_bare = pdn_impedance_profile(bare, 0, freqs);
+    const VectorD z_with = pdn_impedance_profile(with, 0, freqs);
+    ASSERT_EQ(z_bare.size(), freqs.size());
+    // Low frequency: regulator holds the rail — low impedance either way.
+    EXPECT_LT(z_bare.front(), 1.0);
+    // The decap lowers the impedance in the mid band (10-100 MHz region).
+    double improved = 0;
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        if (freqs[i] > 5e6 && freqs[i] < 3e8)
+            improved = std::max(improved, z_bare[i] / z_with[i]);
+    EXPECT_GT(improved, 1.3);
+}
+
+TEST(DecapOpt, RequiresCandidates) {
+    BoardStackup st;
+    st.plane_separation = 0.5e-3;
+    Board b(0.05, 0.05, st, 3.3);
+    DriverSite s;
+    s.name = "d";
+    s.vcc_pin = {0.03, 0.03};
+    s.gnd_pin = {0.03, 0.02};
+    b.add_driver_site(s);
+    auto plane = std::make_shared<PlaneModel>(b, fast_options());
+    EXPECT_THROW(optimize_decap_placement(plane, 1, 25e-12, 2e-9),
+                 InvalidArgument);
+}

@@ -1,0 +1,85 @@
+// Tests for the direct MPIE frequency sweep — the in-house reference the
+// extracted circuit is validated against.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "em/solver.hpp"
+#include "extract/equivalent_circuit.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+PlaneBem small_plane() {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.04, 0.03);
+    s.z = 0.5e-3;
+    s.sheet_resistance = 6e-3;
+    return PlaneBem(RectMesh({s}, 0.005), Greens::homogeneous(4.5, true),
+                    BemOptions{});
+}
+
+} // namespace
+
+TEST(DirectSolver, LowFrequencyIsCapacitive) {
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance::from_sheet_resistance(6e-3));
+    const std::size_t port = bem.mesh().nearest_node({0.02, 0.015}, 0);
+    const double f = 1e6;
+    const MatrixC z = solver.port_impedance(f, {port});
+    // At 1 MHz the plane is a capacitor: phase ≈ −90°, |Z| ≈ 1/(ωC_total).
+    EXPECT_LT(z(0, 0).imag(), 0.0);
+    EXPECT_GT(std::abs(z(0, 0).imag()), 50.0 * std::abs(z(0, 0).real()));
+    const MatrixD& c = bem.maxwell_capacitance();
+    double ctot = 0;
+    for (std::size_t i = 0; i < c.rows(); ++i)
+        for (std::size_t j = 0; j < c.cols(); ++j) ctot += c(i, j);
+    EXPECT_NEAR(std::abs(z(0, 0)), 1.0 / (2 * pi * f * ctot),
+                0.1 / (2 * pi * f * ctot));
+}
+
+TEST(DirectSolver, AgreesWithExtractedCircuitBelowResonance) {
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance::from_sheet_resistance(6e-3));
+    // Frequency-domain comparison: keep the exact element-wise map.
+    const EquivalentCircuit ec =
+        CircuitExtractor(bem, ExtractionOptions{0.0, true, false}).extract_full();
+    const std::size_t port = bem.mesh().nearest_node({0.01, 0.01}, 0);
+    for (double f : {10e6, 100e6, 400e6}) {
+        const Complex zd = solver.port_impedance(f, {port})(0, 0);
+        const Complex ze = ec.impedance(f, {port})(0, 0);
+        EXPECT_NEAR(std::abs(ze), std::abs(zd), 0.08 * std::abs(zd)) << f;
+    }
+}
+
+TEST(DirectSolver, ReciprocalPortMatrix) {
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance{});
+    const std::size_t p1 = bem.mesh().nearest_node({0.005, 0.005}, 0);
+    const std::size_t p2 = bem.mesh().nearest_node({0.035, 0.025}, 0);
+    const MatrixC z = solver.port_impedance(200e6, {p1, p2});
+    EXPECT_NEAR(std::abs(z(0, 1) - z(1, 0)), 0.0, 1e-6 * std::abs(z(0, 1)));
+}
+
+TEST(DirectSolver, LossAddsRealPart) {
+    const PlaneBem bem = small_plane();
+    const std::size_t port = bem.mesh().nearest_node({0.02, 0.015}, 0);
+    const DirectSolver lossless(bem, SurfaceImpedance{});
+    const DirectSolver lossy(bem, SurfaceImpedance::from_sheet_resistance(0.1));
+    const double f = 100e6;
+    const double r0 = lossless.port_impedance(f, {port})(0, 0).real();
+    const double r1 = lossy.port_impedance(f, {port})(0, 0).real();
+    EXPECT_GT(r1, r0 + 1e-3);
+}
+
+TEST(DirectSolver, SweepShapes) {
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance{});
+    const std::size_t port = bem.mesh().nearest_node({0.02, 0.015}, 0);
+    const auto sweep = solver.sweep_impedance({1e8, 2e8, 3e8}, {port});
+    EXPECT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep[0].rows(), 1u);
+    EXPECT_THROW(solver.port_impedance(-1.0, {port}), InvalidArgument);
+}

@@ -1,0 +1,132 @@
+// Tests for the equivalent-circuit extraction (§4.2): element maps, model
+// admittance consistency, netlist stamping, and physical sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/constants.hpp"
+#include "extract/equivalent_circuit.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+PlaneBem make_plane(double side, double pitch, double h, double rs = 6e-3) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, side, side);
+    s.z = h;
+    s.sheet_resistance = rs;
+    return PlaneBem(RectMesh({s}, pitch), Greens::homogeneous(4.5, true),
+                    BemOptions{});
+}
+
+} // namespace
+
+TEST(EquivalentCircuit, FullExtractionStructure) {
+    const PlaneBem bem = make_plane(0.04, 0.01, 0.5e-3);
+    const CircuitExtractor ex(bem);
+    const EquivalentCircuit ec = ex.extract_full();
+    EXPECT_EQ(ec.node_count(), bem.node_count());
+    EXPECT_TRUE(ec.has_reference);
+    // Branch L between adjacent nodes must be positive; node caps positive.
+    for (double c : ec.node_cap) EXPECT_GT(c, 0.0);
+    std::size_t positive_l = 0;
+    for (const RlcBranch& b : ec.branches) {
+        if (b.l > 0) ++positive_l;
+        if (b.c != 0) {
+            EXPECT_GT(b.c, 0.0);
+        }
+        if (b.r != 0) {
+            EXPECT_GT(b.r, 0.0);
+        }
+    }
+    EXPECT_GT(positive_l, 0u);
+}
+
+TEST(EquivalentCircuit, TotalCapacitanceMatchesParallelPlate) {
+    const double side = 0.05, h = 0.5e-3;
+    const PlaneBem bem = make_plane(side, side / 8, h);
+    const EquivalentCircuit ec = CircuitExtractor(bem).extract_full();
+    const double cpp = eps0 * 4.5 * side * side / h;
+    EXPECT_NEAR(ec.total_reference_capacitance(), cpp, 0.25 * cpp);
+    EXPECT_GT(ec.total_reference_capacitance(), cpp);
+}
+
+TEST(EquivalentCircuit, ReducedModelMatchesFullAtPorts) {
+    // Impedance between two pin nodes: full circuit vs Kron-reduced circuit
+    // must agree at low frequency (the reduction is exact for Γ and C).
+    const PlaneBem bem = make_plane(0.04, 0.01, 0.5e-3);
+    const CircuitExtractor ex(bem);
+    const EquivalentCircuit full = ex.extract_full();
+    const std::size_t p1 = bem.mesh().nearest_node({0.005, 0.005}, 0);
+    const std::size_t p2 = bem.mesh().nearest_node({0.035, 0.035}, 0);
+    const EquivalentCircuit red = ex.extract({p1, p2});
+
+    const double f = 50e6;
+    const MatrixC zf = full.impedance(f, {p1, p2});
+    const MatrixC zr = red.impedance(f, {0, 1});
+    EXPECT_NEAR(std::abs(zf(0, 0)), std::abs(zr(0, 0)), 0.05 * std::abs(zf(0, 0)));
+    EXPECT_NEAR(std::abs(zf(0, 1)), std::abs(zr(0, 1)), 0.05 * std::abs(zf(0, 1)));
+}
+
+TEST(EquivalentCircuit, StampedNetlistMatchesModelAdmittance) {
+    // AC analysis of the stamped netlist must reproduce the analytic model
+    // impedance.
+    const PlaneBem bem = make_plane(0.03, 0.01, 0.5e-3);
+    const EquivalentCircuit ec = CircuitExtractor(bem).extract_full();
+
+    Netlist nl;
+    std::vector<NodeId> map;
+    for (std::size_t k = 0; k < ec.node_count(); ++k)
+        map.push_back(nl.add_node("p" + std::to_string(k)));
+    ec.stamp(nl, map, nl.ground(), "pg");
+    nl.add_isource("I1", nl.ground(), map[0], Source::dc(0.0).set_ac(1.0));
+
+    const double f = 100e6;
+    const AcSolution sol = ac_analyze(nl, f);
+    const MatrixC z = ec.impedance(f, {0});
+    EXPECT_NEAR(std::abs(sol.v(map[0])), std::abs(z(0, 0)),
+                1e-6 * std::abs(z(0, 0)));
+}
+
+TEST(EquivalentCircuit, PruningDropsWeakBranches) {
+    const PlaneBem bem = make_plane(0.05, 0.01, 0.5e-3);
+    const EquivalentCircuit all =
+        CircuitExtractor(bem, ExtractionOptions{0.0, true}).extract_full();
+    const EquivalentCircuit pruned =
+        CircuitExtractor(bem, ExtractionOptions{0.05, true}).extract_full();
+    std::size_t all_l = 0, pruned_l = 0;
+    for (const RlcBranch& b : all.branches)
+        if (b.l != 0) ++all_l;
+    for (const RlcBranch& b : pruned.branches)
+        if (b.l != 0) ++pruned_l;
+    EXPECT_LT(pruned_l, all_l);
+    // ...while barely moving the port impedance.
+    const std::size_t p1 = 0, p2 = bem.node_count() - 1;
+    const double f = 30e6;
+    const double za = std::abs(all.impedance(f, {p1, p2})(0, 1));
+    const double zp = std::abs(pruned.impedance(f, {p1, p2})(0, 1));
+    EXPECT_NEAR(zp, za, 0.1 * za);
+}
+
+TEST(EquivalentCircuit, LosslessExtractionHasNoR) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.03, 0.03);
+    s.z = 0.5e-3;
+    s.sheet_resistance = 0.0;
+    const PlaneBem bem(RectMesh({s}, 0.01), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const EquivalentCircuit ec = CircuitExtractor(bem).extract_full();
+    for (const RlcBranch& b : ec.branches) EXPECT_DOUBLE_EQ(b.r, 0.0);
+}
+
+TEST(EquivalentCircuit, SelectNodesIncludesPortsAndInterior) {
+    const PlaneBem bem = make_plane(0.05, 0.01, 0.5e-3);
+    const CircuitExtractor ex(bem);
+    const std::vector<std::size_t> ports{3, 7};
+    const auto keep = ex.select_nodes(ports, 6);
+    EXPECT_GE(keep.size(), 6u);
+    EXPECT_TRUE(std::binary_search(keep.begin(), keep.end(), 3u));
+    EXPECT_TRUE(std::binary_search(keep.begin(), keep.end(), 7u));
+}

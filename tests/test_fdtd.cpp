@@ -1,0 +1,152 @@
+// Tests for the 2-D plane-pair FDTD solver: cavity-resonance physics, loss
+// decay, and source behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "fdtd/plane_fdtd.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+PlaneFdtdOptions small_plane() {
+    PlaneFdtdOptions o;
+    o.lx = 0.05;
+    o.ly = 0.04;
+    o.separation = 0.5e-3;
+    o.eps_r = 4.5;
+    o.nx = 25;
+    o.ny = 20;
+    return o;
+}
+
+// Dominant frequency by scanning a single-bin DFT over a band.
+double dft_peak_frequency(const pgsi::VectorD& t, const pgsi::VectorD& v,
+                          double t_start, double f_lo, double f_hi, int nf) {
+    double best_f = f_lo, best_m = -1;
+    for (int k = 0; k <= nf; ++k) {
+        const double f = f_lo + (f_hi - f_lo) * k / nf;
+        double re = 0, im = 0;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i] < t_start) continue;
+            const double ph = 2 * pgsi::pi * f * t[i];
+            re += v[i] * std::cos(ph);
+            im -= v[i] * std::sin(ph);
+        }
+        const double mag = re * re + im * im;
+        if (mag > best_m) {
+            best_m = mag;
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+} // namespace
+
+TEST(PlaneFdtd, CflRespected) {
+    PlaneFdtdOptions o = small_plane();
+    const PlaneFdtd sim(o);
+    const double v = c0 / std::sqrt(o.eps_r);
+    const double dx = o.lx / o.nx, dy = o.ly / o.ny;
+    const double cfl = 1.0 / (v * std::sqrt(1 / (dx * dx) + 1 / (dy * dy)));
+    EXPECT_LE(sim.dt(), cfl);
+    o.dt = 2 * cfl;
+    EXPECT_THROW(PlaneFdtd{o}, InvalidArgument);
+}
+
+TEST(PlaneFdtd, CavityResonanceFrequency) {
+    // First resonance of an open-boundary plane pair along x:
+    // f10 = c / (2·lx·sqrt(εr)).
+    PlaneFdtdOptions o = small_plane();
+    PlaneFdtd sim(o);
+    sim.add_port({0.002, 0.02}, 50.0,
+                 Source::pulse(0, 1, 0, 0.05e-9, 0.05e-9, 0.1e-9));
+    const std::size_t probe =
+        sim.add_port({0.048, 0.02}, 1e6, Source::dc(0.0)); // ~open probe
+    const PlaneFdtdResult r = sim.run(8e-9);
+    const double f10 = c0 / (2 * o.lx * std::sqrt(o.eps_r));
+    const double f_est = dft_peak_frequency(r.time, r.port_voltage[probe], 2e-9,
+                                            0.4 * f10, 1.8 * f10, 120);
+    EXPECT_NEAR(f_est, f10, 0.15 * f10);
+}
+
+TEST(PlaneFdtd, PropagationDelayAcrossPlane) {
+    PlaneFdtdOptions o = small_plane();
+    PlaneFdtd sim(o);
+    sim.add_port({0.002, 0.02}, 50.0,
+                 Source::pulse(0, 5, 0, 0.1e-9, 0.1e-9, 3e-9));
+    const std::size_t probe = sim.add_port({0.048, 0.02}, 50.0, Source::dc(0.0));
+    const PlaneFdtdResult r = sim.run(2e-9);
+    const double v = c0 / std::sqrt(o.eps_r);
+    const double t_expected = 0.046 / v; // ~0.33 ns
+    // Find the first time the far port rises above 10% of its max.
+    const VectorD& w = r.port_voltage[probe];
+    const double thresh = 0.1 * max_abs(w);
+    double t_arrival = 0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        if (std::abs(w[i]) > thresh) {
+            t_arrival = r.time[i];
+            break;
+        }
+    EXPECT_NEAR(t_arrival, t_expected, 0.5 * t_expected);
+}
+
+TEST(PlaneFdtd, SheetLossDampsRinging) {
+    PlaneFdtdOptions lossless = small_plane();
+    PlaneFdtdOptions lossy = small_plane();
+    lossy.sheet_resistance = 0.5; // exaggerated loss
+    auto run_tail = [&](const PlaneFdtdOptions& o) {
+        PlaneFdtd sim(o);
+        sim.add_port({0.002, 0.02}, 50.0,
+                     Source::pulse(0, 1, 0, 0.05e-9, 0.05e-9, 0.1e-9));
+        const std::size_t probe =
+            sim.add_port({0.048, 0.02}, 1e6, Source::dc(0.0));
+        const PlaneFdtdResult r = sim.run(10e-9);
+        double tail = 0;
+        for (std::size_t i = 0; i < r.time.size(); ++i)
+            if (r.time[i] > 8e-9)
+                tail = std::max(tail, std::abs(r.port_voltage[probe][i]));
+        return tail;
+    };
+    EXPECT_LT(run_tail(lossy), 0.3 * run_tail(lossless));
+}
+
+TEST(PlaneFdtd, QuiescentWithoutSource) {
+    PlaneFdtd sim(small_plane());
+    const std::size_t p = sim.add_port({0.02, 0.02}, 50.0, Source::dc(0.0));
+    const PlaneFdtdResult r = sim.run(1e-9);
+    EXPECT_DOUBLE_EQ(max_abs(r.port_voltage[p]), 0.0);
+}
+
+TEST(PlaneFdtd, RejectsBadGeometry) {
+    PlaneFdtdOptions o = small_plane();
+    o.nx = 2;
+    EXPECT_THROW(PlaneFdtd{o}, InvalidArgument);
+    o = small_plane();
+    o.separation = 0;
+    EXPECT_THROW(PlaneFdtd{o}, InvalidArgument);
+}
+
+TEST(PlaneFdtd, StableWithSmallCellsAndStiffPorts) {
+    // Regression: the lumped-port term must be integrated simultaneously
+    // with the field update. With small cells and a 50-ohm port the port
+    // stiffness beta = dt/(Ca*dA*R) exceeds 2 and a split update explodes.
+    PlaneFdtdOptions o;
+    o.lx = 8e-3;
+    o.ly = 8e-3;
+    o.separation = 280e-6;
+    o.eps_r = 9.6;
+    o.sheet_resistance = 6e-3;
+    o.nx = 48;
+    o.ny = 48;
+    PlaneFdtd sim(o);
+    sim.add_port({1e-3, 4e-3}, 50.0,
+                 Source::pulse(0, 1, 0, 0.03e-9, 0.03e-9, 0.06e-9));
+    const std::size_t probe = sim.add_port({7e-3, 4e-3}, 50.0, Source::dc(0.0));
+    const PlaneFdtdResult r = sim.run(3e-9);
+    EXPECT_LT(max_abs(r.port_voltage[probe]), 2.0);
+    EXPECT_GT(max_abs(r.port_voltage[probe]), 1e-3); // signal actually arrives
+}

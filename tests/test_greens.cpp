@@ -1,0 +1,104 @@
+// Tests for the quasi-static layered Green's functions: limiting cases of
+// the slab image series, image signs, and basic symmetry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "em/greens.hpp"
+
+using namespace pgsi;
+
+namespace {
+const Rect kCell{0, 1e-3, 0, 1e-3};
+} // namespace
+
+TEST(Greens, HomogeneousNoReferenceIsCoulomb) {
+    const Greens g = Greens::homogeneous(1.0, false);
+    const Point2 far{0.05, 0.0};
+    const double v = g.phi_integral(far, 0.0, kCell, 0.0);
+    const double expect = kCell.area() / (4.0 * pi * eps0 * 0.0505); // ~ center dist
+    EXPECT_NEAR(v, expect, 0.05 * expect);
+    EXPECT_FALSE(g.has_reference());
+}
+
+TEST(Greens, DielectricScalesPotentialDown) {
+    const Greens g1 = Greens::homogeneous(1.0, false);
+    const Greens g4 = Greens::homogeneous(4.0, false);
+    const Point2 p{0.01, 0.0};
+    EXPECT_NEAR(g1.phi_integral(p, 0, kCell, 0),
+                4.0 * g4.phi_integral(p, 0, kCell, 0), 1e-12);
+}
+
+TEST(Greens, PecReferenceReducesPotential) {
+    const Greens free = Greens::homogeneous(1.0, false);
+    const Greens img = Greens::homogeneous(1.0, true);
+    const Point2 p{0.01, 0.0};
+    const double h = 0.5e-3;
+    const double v_free = free.phi_integral(p, h, kCell, h);
+    const double v_img = img.phi_integral(p, h, kCell, h);
+    EXPECT_LT(v_img, v_free);
+    EXPECT_GT(v_img, 0.0);
+    // Image term equals a negative source at depth 2h.
+    const double expected = v_free - free.phi_integral(p, h, kCell, -h);
+    EXPECT_NEAR(v_img, expected, 1e-9 * v_free);
+}
+
+TEST(Greens, SlabWithEps1EqualsGroundImage) {
+    // εr = 1 slab reduces to charge over a bare ground plane.
+    const double h = 1e-3;
+    const Greens slab = Greens::grounded_slab(1.0, h);
+    const Greens img = Greens::homogeneous(1.0, true);
+    const Point2 p{0.004, 0.002};
+    const double vs = slab.phi_integral(p, h, kCell, h);
+    const double vi = img.phi_integral(p, h, kCell, h);
+    EXPECT_NEAR(vs, vi, 1e-9 * vi);
+}
+
+TEST(Greens, SlabHighEpsKillsPotential) {
+    const double h = 1e-3;
+    const Point2 p{0.01, 0.0};
+    const double v_low = Greens::grounded_slab(2.0, h).phi_integral(p, h, kCell, h);
+    const double v_high =
+        Greens::grounded_slab(500.0, h, 2000, 1e-10).phi_integral(p, h, kCell, h);
+    EXPECT_LT(v_high, 0.05 * v_low);
+}
+
+TEST(Greens, SlabSeriesConverged) {
+    // Doubling the image budget should not move the result.
+    const double h = 0.5e-3;
+    const Point2 p{0.003, 0.001};
+    const double a = Greens::grounded_slab(9.6, h, 64, 1e-7)
+                         .phi_integral(p, h, kCell, h);
+    const double b = Greens::grounded_slab(9.6, h, 256, 1e-12)
+                         .phi_integral(p, h, kCell, h);
+    EXPECT_NEAR(a, b, 1e-5 * std::abs(b));
+}
+
+TEST(Greens, VectorPotentialIgnoresDielectric) {
+    const double h = 1e-3;
+    const Point2 p{0.005, 0.0};
+    const double a1 = Greens::grounded_slab(1.0, h).a_integral(p, h, kCell, h);
+    const double a96 = Greens::grounded_slab(9.6, h).a_integral(p, h, kCell, h);
+    EXPECT_NEAR(a1, a96, 1e-12);
+}
+
+TEST(Greens, VectorPotentialImageReduces) {
+    const double h = 1e-3;
+    const Point2 p{0.005, 0.0};
+    const Greens withimg = Greens::homogeneous(1.0, true);
+    const Greens noimg = Greens::homogeneous(1.0, false);
+    EXPECT_LT(withimg.a_integral(p, h, kCell, h), noimg.a_integral(p, h, kCell, h));
+}
+
+TEST(Greens, Phi2dDecaysWithDistance) {
+    const Greens g = Greens::grounded_slab(4.5, 1e-3);
+    const double v1 = g.phi_2d(1e-3, 0, 0);
+    const double v2 = g.phi_2d(1e-2, 0, 0);
+    EXPECT_GT(v1, v2); // closer line charge -> higher potential
+}
+
+TEST(Greens, RejectsBadInputs) {
+    EXPECT_THROW(Greens::homogeneous(0.5, false), InvalidArgument);
+    EXPECT_THROW(Greens::grounded_slab(4.5, -1e-3), InvalidArgument);
+}

@@ -1,0 +1,196 @@
+// Cross-module integration tests: the full extraction → simulation pipeline
+// on small structures, checking physics end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "circuit/parser.hpp"
+#include "circuit/sparams.hpp"
+#include "circuit/transient.hpp"
+#include "common/constants.hpp"
+#include "em/solver.hpp"
+#include "extract/equivalent_circuit.hpp"
+#include "fdtd/plane_fdtd.hpp"
+#include "tline2d/mtl_extract.hpp"
+
+using namespace pgsi;
+
+namespace {
+// Dominant frequency by scanning a single-bin DFT over a band.
+double dft_peak_frequency(const pgsi::VectorD& t, const pgsi::VectorD& v,
+                          double t_start, double f_lo, double f_hi, int nf) {
+    double best_f = f_lo, best_m = -1;
+    for (int k = 0; k <= nf; ++k) {
+        const double f = f_lo + (f_hi - f_lo) * k / nf;
+        double re = 0, im = 0;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i] < t_start) continue;
+            const double ph = 2 * pgsi::pi * f * t[i];
+            re += v[i] * std::cos(ph);
+            im -= v[i] * std::sin(ph);
+        }
+        const double mag = re * re + im * im;
+        if (mag > best_m) {
+            best_m = mag;
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+// std::to_string truncates small element values; use full precision.
+std::string num(double v) {
+    std::ostringstream os;
+    os.precision(15);
+    os << v;
+    return os.str();
+}
+} // namespace
+
+TEST(Integration, PlaneResonanceCircuitVsFdtd) {
+    // Same plane pair through two independent engines: the extracted RLC
+    // circuit and the FDTD solver must ring at the same cavity frequency.
+    const double lx = 0.05, ly = 0.04, d = 0.5e-3, er = 4.5;
+
+    // --- extracted circuit path ---
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, lx, ly);
+    s.z = d;
+    const PlaneBem bem(RectMesh({s}, 0.005), Greens::homogeneous(er, true),
+                       BemOptions{});
+    // Frequency-domain scan: exact element-wise map.
+    const EquivalentCircuit ec =
+        CircuitExtractor(bem, ExtractionOptions{0.0, true, false}).extract_full();
+    const std::size_t port = bem.mesh().nearest_node({0.002, 0.02}, 0);
+    // Input impedance peaks near the first cavity resonance.
+    const double f10 = c0 / (2 * lx * std::sqrt(er));
+    double best_f = 0, best_z = 0;
+    for (double f = 0.4 * f10; f < 1.6 * f10; f += f10 / 100) {
+        const double z = std::abs(ec.impedance(f, {port})(0, 0));
+        if (z > best_z) {
+            best_z = z;
+            best_f = f;
+        }
+    }
+    EXPECT_NEAR(best_f, f10, 0.12 * f10);
+
+    // --- FDTD path ---
+    PlaneFdtdOptions fo;
+    fo.lx = lx;
+    fo.ly = ly;
+    fo.separation = d;
+    fo.eps_r = er;
+    fo.nx = 25;
+    fo.ny = 20;
+    PlaneFdtd sim(fo);
+    sim.add_port({0.002, 0.02}, 50.0,
+                 Source::pulse(0, 1, 0, 0.05e-9, 0.05e-9, 0.1e-9));
+    const std::size_t probe = sim.add_port({0.048, 0.02}, 1e6, Source::dc(0.0));
+    const PlaneFdtdResult r = sim.run(8e-9);
+    const double f_fdtd = dft_peak_frequency(r.time, r.port_voltage[probe],
+                                             2e-9, 0.4 * f10, 1.8 * f10, 120);
+    EXPECT_NEAR(f_fdtd, best_f, 0.15 * best_f);
+}
+
+TEST(Integration, ExtractedMicrostripDelayInTransient) {
+    // 2-D extraction feeds the modal line; the far-end edge must arrive at
+    // the extracted delay.
+    const MtlParameters p = extract_microstrip({{0.0, 1e-3}}, 4.5, 1e-3);
+    const LineFigures f = line_figures(p);
+    const double len = 0.15;
+    auto model = std::make_shared<ModalTline>(p, len);
+    const double tau = f.delay_per_m * len;
+
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.05e-9, 0.05e-9, 3e-9));
+    nl.add_resistor("Rs", src, in, f.z0);
+    nl.add_tline("T1", {in}, {out}, model);
+    nl.add_resistor("Rl", out, nl.ground(), f.z0);
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.tstop = 3 * tau;
+    const TransientResult res = transient_analyze(nl, opt);
+    const VectorD w = res.waveform(out);
+    double t_arrival = 0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        if (w[i] > 0.5) {
+            t_arrival = res.time[i];
+            break;
+        }
+    EXPECT_NEAR(t_arrival, tau, 0.1 * tau);
+}
+
+TEST(Integration, SParamsOfExtractedPlaneReciprocalAndPassive) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.04, 0.03);
+    s.z = 0.5e-3;
+    s.sheet_resistance = 6e-3;
+    const PlaneBem bem(RectMesh({s}, 0.005), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const std::size_t p1 = bem.mesh().nearest_node({0.005, 0.005}, 0);
+    const std::size_t p2 = bem.mesh().nearest_node({0.035, 0.025}, 0);
+    const EquivalentCircuit ec = CircuitExtractor(bem).extract_full();
+    for (double f : {50e6, 500e6, 2e9}) {
+        const MatrixC z = ec.impedance(f, {p1, p2});
+        const MatrixC sm = z_to_s(z, 50.0);
+        EXPECT_NEAR(std::abs(sm(0, 1) - sm(1, 0)), 0.0, 1e-8) << f;
+        for (int i = 0; i < 2; ++i)
+            for (int j = 0; j < 2; ++j)
+                EXPECT_LT(std::abs(sm(i, j)), 1.0 + 1e-9) << f;
+    }
+}
+
+TEST(Integration, SpiceRoundTripOfEquivalentCircuit) {
+    // Export the extracted circuit as SPICE text and re-simulate through the
+    // parser: port impedance must match the in-memory model.
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.03, 0.02);
+    s.z = 0.5e-3;
+    s.sheet_resistance = 6e-3;
+    const PlaneBem bem(RectMesh({s}, 0.01), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const EquivalentCircuit ec = CircuitExtractor(bem).extract_full();
+
+    // Build the deck: subckt flattened by hand (our parser has no .subckt),
+    // so emit element cards directly.
+    std::string deck = "extracted plane\n";
+    {
+        // Reuse the netlist stamping and then serialize through the circuit.
+        Netlist nl;
+        std::vector<NodeId> map;
+        for (std::size_t k = 0; k < ec.node_count(); ++k)
+            map.push_back(nl.add_node("n" + std::to_string(k)));
+        ec.stamp(nl, map, nl.ground(), "pg");
+        for (const Resistor& r : nl.resistors())
+            deck += r.name + " " + nl.node_name(r.a) + " " + nl.node_name(r.b) +
+                    " " + num(r.r) + "\n";
+        for (const Capacitor& c : nl.capacitors())
+            deck += c.name + " " + nl.node_name(c.a) + " " + nl.node_name(c.b) +
+                    " " + num(c.c) + "\n";
+        for (const Inductor& l : nl.inductors()) {
+            // Split series R+L into two cards for SPICE compatibility.
+            if (l.r > 0) {
+                deck += "R" + l.name + " " + nl.node_name(l.a) + " mid" + l.name +
+                        " " + num(l.r) + "\n";
+                deck += l.name + " mid" + l.name + " " + nl.node_name(l.b) + " " +
+                        num(l.l) + "\n";
+            } else {
+                deck += l.name + " " + nl.node_name(l.a) + " " +
+                        nl.node_name(l.b) + " " + num(l.l) + "\n";
+            }
+        }
+    }
+    deck += "I1 0 n0 AC 1\n.end\n";
+
+    const ParsedDeck parsed = parse_spice(deck);
+    const double f = 80e6;
+    const AcSolution sol = ac_analyze(parsed.netlist, f);
+    const Complex z_deck = sol.v(parsed.netlist.find_node("n0"));
+    const Complex z_model = ec.impedance(f, {0})(0, 0);
+    EXPECT_NEAR(std::abs(z_deck), std::abs(z_model), 0.02 * std::abs(z_model));
+}

@@ -1,0 +1,65 @@
+// Numerical-order property tests for the transient integrators (§5.1:
+// "both first order and second order integration methods are used ...
+// providing good stability and accuracy with speed").
+//
+// On an RC step response with exact solution v(t) = 1 - exp(-t/τ), halving
+// dt must cut the endpoint error ~4x for trapezoidal (2nd order) and ~2x for
+// backward Euler (1st order).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+double endpoint_error(Integrator method, double dt) {
+    const double r = 1e3, c = 1e-9, tau = r * c;
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", in, nl.ground(),
+                   Source::pulse(0, 1, 0.0, dt / 100, dt / 100, 1.0));
+    nl.add_resistor("R1", in, out, r);
+    nl.add_capacitor("C1", out, nl.ground(), c);
+    TransientOptions opt;
+    opt.dt = dt;
+    opt.tstop = tau;
+    opt.method = method;
+    opt.probes = {out};
+    const TransientResult res = transient_analyze(nl, opt);
+    const double exact = 1.0 - std::exp(-res.time.back() / tau);
+    return std::abs(res.waveform(out).back() - exact);
+}
+
+} // namespace
+
+class IntegratorOrder : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntegratorOrder, TrapezoidalIsSecondOrder) {
+    const double dt = GetParam();
+    const double e1 = endpoint_error(Integrator::Trapezoidal, dt);
+    const double e2 = endpoint_error(Integrator::Trapezoidal, dt / 2);
+    // Order 2: ratio ~4. Allow 2.8..6 (the BE first step pollutes slightly).
+    EXPECT_GT(e1 / e2, 2.8) << "dt=" << dt;
+    EXPECT_LT(e1 / e2, 6.5) << "dt=" << dt;
+}
+
+TEST_P(IntegratorOrder, BackwardEulerIsFirstOrder) {
+    const double dt = GetParam();
+    const double e1 = endpoint_error(Integrator::BackwardEuler, dt);
+    const double e2 = endpoint_error(Integrator::BackwardEuler, dt / 2);
+    EXPECT_GT(e1 / e2, 1.6) << "dt=" << dt;
+    EXPECT_LT(e1 / e2, 2.6) << "dt=" << dt;
+}
+
+TEST_P(IntegratorOrder, TrapezoidalBeatsBackwardEuler) {
+    const double dt = GetParam();
+    EXPECT_LT(endpoint_error(Integrator::Trapezoidal, dt),
+              endpoint_error(Integrator::BackwardEuler, dt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, IntegratorOrder,
+                         ::testing::Values(1e-8, 5e-9, 2.5e-9));

@@ -1,0 +1,111 @@
+// Tests for the CSV and Touchstone writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/touchstone.hpp"
+
+using namespace pgsi;
+
+TEST(Csv, WritesHeaderAndRows) {
+    std::ostringstream os;
+    write_csv(os, {"t", "v"}, {{0.0, 1.0}, {5.0, 6.0}});
+    const std::string s = os.str();
+    EXPECT_NE(s.find("t,v\n"), std::string::npos);
+    EXPECT_NE(s.find("0,5\n"), std::string::npos);
+    EXPECT_NE(s.find("1,6\n"), std::string::npos);
+}
+
+TEST(Csv, RejectsRagged) {
+    std::ostringstream os;
+    EXPECT_THROW(write_csv(os, {"a", "b"}, {{1.0}, {1.0, 2.0}}), InvalidArgument);
+    EXPECT_THROW(write_csv(os, {"a"}, {{1.0}, {2.0}}), InvalidArgument);
+}
+
+TEST(Touchstone, TwoPortColumnOrder) {
+    MatrixC s(2, 2);
+    s(0, 0) = Complex(0.1, 0.0);
+    s(1, 0) = Complex(0.9, 0.0);
+    s(0, 1) = Complex(0.8, 0.0);
+    s(1, 1) = Complex(0.2, 0.0);
+    std::ostringstream os;
+    write_touchstone(os, {1e9}, {s});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# Hz S RI R 50"), std::string::npos);
+    // 2-port order: S11 S21 S12 S22.
+    EXPECT_NE(out.find("1000000000 0.1 0 0.9 0 0.8 0 0.2 0"), std::string::npos);
+}
+
+TEST(Touchstone, RejectsMismatch) {
+    std::ostringstream os;
+    EXPECT_THROW(write_touchstone(os, {1e9, 2e9}, {MatrixC(1, 1)}),
+                 InvalidArgument);
+}
+
+TEST(Touchstone, MultiPortRowMajor) {
+    MatrixC s(3, 3);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j) s(i, j) = Complex(i + 1, j + 1);
+    std::ostringstream os;
+    write_touchstone(os, {5e8}, {s});
+    // First entries after the frequency: S11 then S12.
+    EXPECT_NE(os.str().find("500000000 1 1 1 2"), std::string::npos);
+}
+
+TEST(Touchstone, RoundTripRi) {
+    MatrixC s1(2, 2), s2(2, 2);
+    s1(0, 0) = Complex(0.1, -0.2);
+    s1(1, 0) = Complex(0.8, 0.1);
+    s1(0, 1) = Complex(0.8, 0.1);
+    s1(1, 1) = Complex(0.05, 0.3);
+    s2 = s1;
+    s2(0, 0) = Complex(-0.4, 0.0);
+    std::ostringstream os;
+    write_touchstone(os, {1e9, 2e9}, {s1, s2}, 75.0);
+    const TouchstoneData d = read_touchstone(os.str());
+    ASSERT_EQ(d.s.size(), 2u);
+    EXPECT_DOUBLE_EQ(d.z0, 75.0);
+    EXPECT_NEAR(d.freqs_hz[1], 2e9, 1.0);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            EXPECT_NEAR(std::abs(d.s[0](i, j) - s1(i, j)), 0.0, 1e-9);
+    EXPECT_NEAR(d.s[1](0, 0).real(), -0.4, 1e-9);
+}
+
+TEST(Touchstone, ReadsMaAndGhzDefaults) {
+    // Default option line: GHz, S, MA, 50 ohm.
+    const std::string text =
+        "! comment\n# GHz S MA R 50\n1.0 0.5 90\n";
+    const TouchstoneData d = read_touchstone(text);
+    ASSERT_EQ(d.s.size(), 1u);
+    EXPECT_NEAR(d.freqs_hz[0], 1e9, 1.0);
+    EXPECT_NEAR(d.s[0](0, 0).real(), 0.0, 1e-12);
+    EXPECT_NEAR(d.s[0](0, 0).imag(), 0.5, 1e-12);
+}
+
+TEST(Touchstone, ReadsDbFormat) {
+    const std::string text = "# MHz S DB R 50\n100 -6.0206 180\n";
+    const TouchstoneData d = read_touchstone(text, 1);
+    // -6.0206 dB = 0.5 magnitude, at 180 degrees.
+    EXPECT_NEAR(d.s[0](0, 0).real(), -0.5, 1e-4);
+    EXPECT_NEAR(d.freqs_hz[0], 100e6, 1.0);
+}
+
+TEST(Touchstone, WrappedDataLines) {
+    // A 2-port record split across two lines.
+    const std::string text =
+        "# Hz S RI R 50\n1000 0.1 0 0.9 0\n0.8 0 0.2 0\n";
+    const TouchstoneData d = read_touchstone(text, 2);
+    ASSERT_EQ(d.s.size(), 1u);
+    EXPECT_NEAR(d.s[0](1, 0).real(), 0.9, 1e-12);
+    EXPECT_NEAR(d.s[0](0, 1).real(), 0.8, 1e-12);
+}
+
+TEST(Touchstone, ReaderErrors) {
+    EXPECT_THROW(read_touchstone("# Hz S RI R 50\n"), InvalidArgument);
+    EXPECT_THROW(read_touchstone("# Hz S RI R 50\n1000 0.1\n", 2),
+                 InvalidArgument);
+    EXPECT_THROW(read_touchstone("# Hz S XX R 50\n1000 0.1 0\n", 1),
+                 InvalidArgument);
+}

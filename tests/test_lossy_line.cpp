@@ -1,0 +1,141 @@
+// Tests for the segmented lossy transmission line.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/lossy_line.hpp"
+#include "circuit/transient.hpp"
+#include "common/constants.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+LossyMtlParameters line50(double r_per_m, double g_per_m = 0) {
+    MtlParameters p;
+    p.l = MatrixD{{250e-9}};
+    p.c = MatrixD{{100e-12}}; // Z0 = 50, v = 2e8
+    return LossyMtlParameters::from_lossless(p, r_per_m, g_per_m);
+}
+
+// Matched AC transfer magnitude through a stamped ladder.
+double matched_transfer(const LossyMtlParameters& p, double length,
+                        int sections, double freq) {
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", src, nl.ground(), Source::dc(0.0).set_ac(2.0));
+    nl.add_resistor("Rs", src, in, 50.0);
+    stamp_lossy_line(nl, "T", {in}, {out}, nl.ground(), p, length, sections);
+    nl.add_resistor("Rl", out, nl.ground(), 50.0);
+    const AcSolution s = ac_analyze(nl, freq);
+    // Incident wave is 1 V; |V(out)| / 1 V is the attenuation.
+    return std::abs(s.v(out));
+}
+
+} // namespace
+
+TEST(LossyLine, MatchedAttenuationTracksAnalytic) {
+    const LossyMtlParameters p = line50(20.0); // α·len = 0.2·len/… mild loss
+    const double len = 0.5;
+    const double expect = matched_line_attenuation(p, len);
+    const double got = matched_transfer(p, len, 40, 50e6);
+    EXPECT_NEAR(got, expect, 0.03 * expect);
+}
+
+TEST(LossyLine, DielectricLossAlsoAttenuates) {
+    const double len = 0.5;
+    const LossyMtlParameters p = line50(0.0, 1e-3);
+    const double expect = matched_line_attenuation(p, len);
+    const double got = matched_transfer(p, len, 40, 50e6);
+    EXPECT_NEAR(got, expect, 0.03 * expect);
+    EXPECT_LT(expect, 1.0);
+}
+
+TEST(LossyLine, LosslessLadderMatchesModalDelay) {
+    // Zero loss: the ladder's transient must reproduce the modal line's
+    // delayed edge.
+    const LossyMtlParameters p = line50(0.0);
+    const double len = 0.2; // 1 ns
+
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.2e-9, 0.2e-9, 4e-9));
+    nl.add_resistor("Rs", src, in, 50.0);
+    stamp_lossy_line(nl, "T", {in}, {out}, nl.ground(), p, len, 40);
+    nl.add_resistor("Rl", out, nl.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 10e-12;
+    opt.tstop = 4e-9;
+    const TransientResult r = transient_analyze(nl, opt);
+    const VectorD w = r.waveform(out);
+    double arrival = 0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        if (w[i] > 0.5) {
+            arrival = r.time[i];
+            break;
+        }
+    EXPECT_NEAR(arrival, 1e-9 + 0.1e-9, 0.15e-9); // delay + half the edge
+    EXPECT_NEAR(w[static_cast<std::size_t>(2e-9 / opt.dt)], 1.0, 0.08);
+}
+
+TEST(LossyLine, CoupledSectionsCarryCrosstalk) {
+    MtlParameters base;
+    base.l = MatrixD{{300e-9, 60e-9}, {60e-9, 300e-9}};
+    base.c = MatrixD{{120e-12, -15e-12}, {-15e-12, 120e-12}};
+    LossyMtlParameters p;
+    p.l = base.l;
+    p.c = base.c;
+    p.r = {5.0, 5.0};
+    p.g = {0.0, 0.0};
+
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId a_in = nl.node("a_in");
+    const NodeId a_out = nl.node("a_out");
+    const NodeId b_in = nl.node("b_in");
+    const NodeId b_out = nl.node("b_out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.3e-9, 0.3e-9, 3e-9));
+    nl.add_resistor("Rs", src, a_in, 50.0);
+    nl.add_resistor("Rbn", b_in, nl.ground(), 50.0);
+    stamp_lossy_line(nl, "T", {a_in, b_in}, {a_out, b_out}, nl.ground(), p,
+                     0.15, 30);
+    nl.add_resistor("Ral", a_out, nl.ground(), 50.0);
+    nl.add_resistor("Rbl", b_out, nl.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 10e-12;
+    opt.tstop = 5e-9;
+    const TransientResult r = transient_analyze(nl, opt);
+    EXPECT_GT(r.peak_abs(b_in), 0.01);
+    EXPECT_GT(r.peak_abs(b_out), 0.01);
+    EXPECT_LT(r.peak_abs(b_out), 0.6);
+}
+
+TEST(LossyLine, SegmentationGuard) {
+    const LossyMtlParameters p = line50(1.0);
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    // 5 sections over 1 m resolves ~0.1 GHz, not 5 GHz.
+    EXPECT_THROW(stamp_lossy_line(nl, "T", {in}, {out}, nl.ground(), p, 1.0, 5,
+                                  5e9),
+                 InvalidArgument);
+    EXPECT_NO_THROW(stamp_lossy_line(nl, "T", {in}, {out}, nl.ground(), p, 1.0,
+                                     5, 0.0));
+}
+
+TEST(LossyLine, InputValidation) {
+    const LossyMtlParameters p = line50(1.0);
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    EXPECT_THROW(stamp_lossy_line(nl, "T", {a, a}, {a}, nl.ground(), p, 1.0, 4),
+                 InvalidArgument);
+    EXPECT_THROW(stamp_lossy_line(nl, "T", {a}, {a}, nl.ground(), p, -1.0, 4),
+                 InvalidArgument);
+}

@@ -1,0 +1,82 @@
+// Unit + property tests for LU factorization (real and complex).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/lu.hpp"
+
+using namespace pgsi;
+
+TEST(Lu, Solve2x2) {
+    const MatrixD a{{2, 1}, {1, 3}};
+    const VectorD x = Lu<double>(a).solve(VectorD{5, 10});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+    const MatrixD a{{1, 2}, {2, 4}};
+    EXPECT_THROW((Lu<double>{a}), NumericalError);
+}
+
+TEST(Lu, Determinant) {
+    const MatrixD a{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}};
+    EXPECT_NEAR(Lu<double>(a).determinant(), 24.0, 1e-12);
+    // Permutation sign.
+    const MatrixD p{{0, 1}, {1, 0}};
+    EXPECT_NEAR(Lu<double>(p).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, Inverse) {
+    const MatrixD a{{4, 7}, {2, 6}};
+    const MatrixD inv = Lu<double>(a).inverse();
+    const MatrixD prod = a * inv;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolve) {
+    MatrixC a(2, 2);
+    a(0, 0) = Complex(1, 1);
+    a(0, 1) = Complex(0, 2);
+    a(1, 0) = Complex(2, 0);
+    a(1, 1) = Complex(1, -1);
+    const VectorC b{Complex(1, 0), Complex(0, 1)};
+    const VectorC x = Lu<Complex>(a).solve(b);
+    // Residual check.
+    const VectorC r = a * x;
+    EXPECT_NEAR(std::abs(r[0] - b[0]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(r[1] - b[1]), 0.0, 1e-12);
+}
+
+TEST(Lu, MultiRhs) {
+    const MatrixD a{{3, 1}, {1, 2}};
+    const MatrixD x = Lu<double>(a).solve(MatrixD::identity(2));
+    const MatrixD prod = a * x;
+    EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems solve to tiny residual.
+class LuResidual : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuResidual, RandomSystemResidual) {
+    const int n = GetParam();
+    std::mt19937 rng(42 + n);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD a(n, n);
+    VectorD b(n);
+    for (int i = 0; i < n; ++i) {
+        b[i] = u(rng);
+        for (int j = 0; j < n; ++j) a(i, j) = u(rng);
+        a(i, i) += n; // ensure well-conditioned
+    }
+    const VectorD x = Lu<double>(a).solve(b);
+    VectorD r = a * x;
+    for (int i = 0; i < n; ++i) r[i] -= b[i];
+    EXPECT_LT(norm2(r), 1e-10 * (1.0 + norm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidual,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));

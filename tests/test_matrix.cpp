@@ -1,0 +1,113 @@
+// Unit tests for the dense matrix/vector layer.
+#include <gtest/gtest.h>
+
+#include "numeric/matrix.hpp"
+
+using namespace pgsi;
+
+TEST(Matrix, ConstructAndIndex) {
+    MatrixD m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 4.5;
+    EXPECT_DOUBLE_EQ(m(1, 2), 4.5);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+    const MatrixD m{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3);
+    EXPECT_THROW((MatrixD{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+    const MatrixD i = MatrixD::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, AddSubScale) {
+    const MatrixD a{{1, 2}, {3, 4}};
+    const MatrixD b{{5, 6}, {7, 8}};
+    const MatrixD s = a + b;
+    EXPECT_DOUBLE_EQ(s(0, 0), 6);
+    const MatrixD d = b - a;
+    EXPECT_DOUBLE_EQ(d(1, 1), 4);
+    const MatrixD sc = 2.0 * a;
+    EXPECT_DOUBLE_EQ(sc(1, 0), 6);
+}
+
+TEST(Matrix, Product) {
+    const MatrixD a{{1, 2}, {3, 4}};
+    const MatrixD b{{5, 6}, {7, 8}};
+    const MatrixD p = a * b;
+    EXPECT_DOUBLE_EQ(p(0, 0), 19);
+    EXPECT_DOUBLE_EQ(p(0, 1), 22);
+    EXPECT_DOUBLE_EQ(p(1, 0), 43);
+    EXPECT_DOUBLE_EQ(p(1, 1), 50);
+}
+
+TEST(Matrix, MatVec) {
+    const MatrixD a{{1, 2}, {3, 4}};
+    const VectorD x{1, 1};
+    const VectorD y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], 3);
+    EXPECT_DOUBLE_EQ(y[1], 7);
+}
+
+TEST(Matrix, Transpose) {
+    const MatrixD a{{1, 2, 3}, {4, 5, 6}};
+    const MatrixD t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(Matrix, Submatrix) {
+    const MatrixD a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+    const MatrixD s = a.submatrix({0, 2}, {1, 2});
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 2);
+    EXPECT_DOUBLE_EQ(s(1, 1), 9);
+}
+
+TEST(Matrix, Asymmetry) {
+    MatrixD a{{1, 2}, {2, 1}};
+    EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+    a(0, 1) = 2.5;
+    EXPECT_NEAR(a.asymmetry(), 0.5, 1e-15);
+}
+
+TEST(Matrix, ComplexOps) {
+    MatrixC m(2, 2);
+    m(0, 0) = Complex(1, 1);
+    m(1, 1) = Complex(0, -2);
+    const MatrixD re = real_part(m);
+    const MatrixD im = imag_part(m);
+    EXPECT_DOUBLE_EQ(re(0, 0), 1);
+    EXPECT_DOUBLE_EQ(im(1, 1), -2);
+    const MatrixC back = to_complex(re);
+    EXPECT_DOUBLE_EQ(back(0, 0).real(), 1);
+    EXPECT_DOUBLE_EQ(back(0, 0).imag(), 0);
+}
+
+TEST(Vector, Norms) {
+    const VectorD v{3, 4};
+    EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+    EXPECT_DOUBLE_EQ(max_abs(v), 4.0);
+    EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+}
+
+TEST(Vector, Axpy) {
+    VectorD y{1, 1};
+    axpy(2.0, {1, 2}, y);
+    EXPECT_DOUBLE_EQ(y[0], 3);
+    EXPECT_DOUBLE_EQ(y[1], 5);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    MatrixD a(2, 2), b(3, 3);
+    EXPECT_THROW(a += b, InvalidArgument);
+    EXPECT_THROW((void)(a * VectorD{1, 2, 3}), InvalidArgument);
+}

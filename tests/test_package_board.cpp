@@ -1,0 +1,91 @@
+// Tests for package-pin stamping and the board factories.
+#include <gtest/gtest.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/mna.hpp"
+#include "common/constants.hpp"
+#include "si/board.hpp"
+
+using namespace pgsi;
+
+TEST(Package, PinStampTopology) {
+    Netlist nl;
+    const NodeId board = nl.node("board");
+    nl.add_vsource("V1", board, nl.ground(), Source::dc(3.3));
+    const PackagePin pin{5e-9, 0.1, 1e-12};
+    const NodeId die = stamp_package_pin(nl, "p1", board, nl.ground(), pin);
+    nl.add_resistor("Rload", die, nl.ground(), 100.0);
+    const DcSolution s = dc_operating_point(nl);
+    // DC: only the 0.1 Ω pin resistance matters.
+    EXPECT_NEAR(s.v(die), 3.3 * 100.0 / 100.1, 1e-6);
+}
+
+TEST(Package, PinInductanceIsolatesAtHighFrequency) {
+    Netlist nl;
+    const NodeId board = nl.node("board");
+    nl.add_vsource("V1", board, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    const NodeId die =
+        stamp_package_pin(nl, "p1", board, nl.ground(), packages::dip);
+    nl.add_resistor("Rload", die, nl.ground(), 50.0);
+    const AcSolution lo = ac_analyze(nl, 1e6);
+    const AcSolution hi = ac_analyze(nl, 3e9);
+    EXPECT_GT(std::abs(lo.v(die)), 0.95);
+    EXPECT_LT(std::abs(hi.v(die)), 0.5);
+}
+
+TEST(Package, FamiliesOrdered) {
+    EXPECT_GT(packages::dip.l, packages::pqfp.l);
+    EXPECT_GT(packages::pqfp.l, packages::bga.l);
+}
+
+TEST(Board, SsnEvalBoardMatchesPaper) {
+    const Board b = make_ssn_eval_board(7);
+    EXPECT_NEAR(b.width(), 7 * units::inch, 1e-12);
+    EXPECT_NEAR(b.height(), 10 * units::inch, 1e-12);
+    EXPECT_NEAR(b.stackup().plane_separation, 30 * units::mil, 1e-12);
+    ASSERT_EQ(b.driver_sites().size(), 16u);
+    // Exactly 7 drivers have a switching (non-DC) input.
+    int switching = 0;
+    for (const DriverSite& s : b.driver_sites())
+        if (s.driver.input.value(2e-9) > 0.1) ++switching;
+    EXPECT_EQ(switching, 7);
+}
+
+TEST(Board, SsnEvalBoardBounds) {
+    EXPECT_THROW(make_ssn_eval_board(17), InvalidArgument);
+    EXPECT_NO_THROW(make_ssn_eval_board(0));
+}
+
+TEST(Board, PostlayoutBoardPinBudget) {
+    const Board b = make_postlayout_board(7);
+    EXPECT_EQ(b.driver_sites().size(), 55u); // 55 Vcc pins
+    EXPECT_EQ(b.gnd_stitches().size(), 25u); // + 55 site Gnd pins = 80 Gnd
+    EXPECT_NEAR(b.stackup().plane_separation, 10 * units::mil, 1e-12);
+    EXPECT_FALSE(b.decaps().empty());
+    // Pins stay on the board.
+    for (const DriverSite& s : b.driver_sites()) {
+        EXPECT_GT(s.vcc_pin.x, 0.0);
+        EXPECT_LT(s.vcc_pin.x, b.width());
+        EXPECT_GT(s.gnd_pin.y, 0.0);
+        EXPECT_LT(s.gnd_pin.y, b.height());
+    }
+}
+
+TEST(Board, PostlayoutBoardIsDeterministic) {
+    const Board a = make_postlayout_board(42);
+    const Board b = make_postlayout_board(42);
+    ASSERT_EQ(a.driver_sites().size(), b.driver_sites().size());
+    for (std::size_t i = 0; i < a.driver_sites().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.driver_sites()[i].vcc_pin.x,
+                         b.driver_sites()[i].vcc_pin.x);
+        EXPECT_DOUBLE_EQ(a.driver_sites()[i].load_c, b.driver_sites()[i].load_c);
+    }
+}
+
+TEST(Board, RejectsBadConstruction) {
+    BoardStackup st;
+    st.plane_separation = 0;
+    EXPECT_THROW(Board(0.1, 0.1, st), InvalidArgument);
+    st.plane_separation = 1e-3;
+    EXPECT_THROW(Board(-0.1, 0.1, st), InvalidArgument);
+}

@@ -1,0 +1,163 @@
+// Tests for the SPICE-subset parser.
+#include <gtest/gtest.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/parser.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/transient.hpp"
+
+using namespace pgsi;
+
+TEST(SpiceValue, Suffixes) {
+    EXPECT_DOUBLE_EQ(parse_spice_value("2.2k"), 2200.0);
+    EXPECT_DOUBLE_EQ(parse_spice_value("10p"), 10e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_value("3meg"), 3e6);
+    EXPECT_DOUBLE_EQ(parse_spice_value("5u"), 5e-6);
+    EXPECT_DOUBLE_EQ(parse_spice_value("7n"), 7e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_value("1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(parse_spice_value("-3m"), -3e-3);
+    EXPECT_DOUBLE_EQ(parse_spice_value("2G"), 2e9);
+    EXPECT_DOUBLE_EQ(parse_spice_value("4V"), 4.0);
+    EXPECT_THROW(parse_spice_value("abc"), InvalidArgument);
+}
+
+TEST(Parser, RcDeckWithAnalyses) {
+    const std::string deck = R"(rc lowpass test deck
+* comment line
+V1 in 0 DC 0 AC 1 PULSE(0 1 0 1n 1n 10n 0)
+R1 in out 1k
+C1 out 0 1n
+.tran 0.1n 100n
+.ac dec 10 1meg 1g
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_EQ(d.title, "rc lowpass test deck");
+    EXPECT_EQ(d.netlist.resistors().size(), 1u);
+    EXPECT_EQ(d.netlist.capacitors().size(), 1u);
+    EXPECT_EQ(d.netlist.vsources().size(), 1u);
+    EXPECT_TRUE(d.analyses.has_tran);
+    EXPECT_DOUBLE_EQ(d.analyses.tran_stop, 100e-9);
+    EXPECT_TRUE(d.analyses.has_ac);
+    EXPECT_EQ(d.analyses.ac_points_per_decade, 10);
+
+    // The parsed deck actually runs.
+    const AcSolution s = ac_analyze(d.netlist, 1e3); // far below f3db = 159 kHz
+    EXPECT_NEAR(std::abs(s.v(d.netlist.find_node("out"))), 1.0, 0.01);
+}
+
+TEST(Parser, ContinuationLines) {
+    const std::string deck = R"(title
+V1 a 0 PULSE(0 5
++ 1n 0.3n 0.3n
++ 1n 0)
+R1 a 0 50
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_EQ(d.netlist.vsources().size(), 1u);
+    EXPECT_DOUBLE_EQ(d.netlist.vsources()[0].src.value(1.15e-9), 2.5);
+}
+
+TEST(Parser, CoupledInductors) {
+    const std::string deck = R"(transformer
+V1 p 0 AC 1
+L1 p 0 1u
+L2 s 0 1u
+K1 L1 L2 0.9
+R1 s 0 1k
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_EQ(d.netlist.mutuals().size(), 1u);
+    EXPECT_DOUBLE_EQ(d.netlist.mutuals()[0].k, 0.9);
+}
+
+TEST(Parser, CurrentSourceAndSin) {
+    const std::string deck = R"(sin drive
+I1 0 n1 SIN(0 1m 10meg)
+R1 n1 0 75
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    ASSERT_EQ(d.netlist.isources().size(), 1u);
+    EXPECT_NEAR(d.netlist.isources()[0].src.value(0.25e-7 / 1.0), 0.0, 1.1e-3);
+}
+
+TEST(Parser, PwlSource) {
+    const std::string deck = R"(pwl
+V1 a 0 PWL(0 0 1n 1 2n 0)
+R1 a 0 50
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_DOUBLE_EQ(d.netlist.vsources()[0].src.value(0.5e-9), 0.5);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+    const std::string deck = R"(bad deck
+R1 a
+.end
+)";
+    try {
+        parse_spice(deck);
+        FAIL() << "expected parse error";
+    } catch (const InvalidArgument& e) {
+        // True file line: line 1 is the title, the bad card is line 2.
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Parser, SubcktFlattening) {
+    const std::string deck = R"(hierarchy
+.subckt divider in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 8
+X1 a m divider
+X2 m b divider
+Rload b 0 1meg
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    // 2 instances x 2 resistors + Rload.
+    EXPECT_EQ(d.netlist.resistors().size(), 5u);
+    const DcSolution s = dc_operating_point(d.netlist);
+    // Second divider loads the first: m = 8 * (1k||2k)/(1k + 1k||2k) = 3.2 V,
+    // b = m/2 = 1.6 V.
+    EXPECT_NEAR(s.v(d.netlist.find_node("m")), 3.2, 0.01);
+    EXPECT_NEAR(s.v(d.netlist.find_node("b")), 1.6, 0.01);
+}
+
+TEST(Parser, SubcktInternalNodesAreNamespaced) {
+    const std::string deck = R"(ns
+.subckt rc a b
+R1 a mid 1k
+C1 mid b 1n
+.ends
+X1 in 0 rc
+X2 in 0 rc
+V1 in 0 DC 1
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_EQ(d.netlist.capacitors().size(), 2u);
+    // Each instance owns its private 'mid' node.
+    EXPECT_NO_THROW(d.netlist.find_node("X1.mid"));
+    EXPECT_NO_THROW(d.netlist.find_node("X2.mid"));
+}
+
+TEST(Parser, SubcktErrors) {
+    EXPECT_THROW(parse_spice("t\nX1 a b nosuch\n.end\n"), InvalidArgument);
+    EXPECT_THROW(
+        parse_spice("t\n.subckt s a b\nR1 a b 1\n.ends\nX1 a s\n.end\n"),
+        InvalidArgument); // pin count mismatch
+    EXPECT_THROW(parse_spice("t\n.subckt s a b\nR1 a b 1\n.end\n"),
+                 InvalidArgument); // unterminated
+}
+
+TEST(Parser, UnsupportedElementThrows) {
+    EXPECT_THROW(parse_spice("t\nQ1 a b c model\n.end\n"), InvalidArgument);
+}

@@ -1,0 +1,108 @@
+// Tests for the direct PEEC netlist realization: AC agreement with the
+// field solver and unconditional transient stability on multi-net
+// structures (where the element-wise branch circuit is not usable).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/transient.hpp"
+#include "em/solver.hpp"
+#include "extract/peec_stamp.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+PlaneBem strip_pair() {
+    // Two coplanar strips over a reference plane — a two-net structure.
+    ConductorShape a, b;
+    a.outline = Polygon::rectangle(0, 0, 0.06, 0.006);
+    a.z = 1e-3;
+    a.sheet_resistance = 5e-3;
+    a.name = "a";
+    b = a;
+    b.outline = Polygon::rectangle(0, 0.012, 0.06, 0.018);
+    b.name = "b";
+    return PlaneBem(RectMesh({a, b}, 0.006), Greens::homogeneous(4.5, true),
+                    BemOptions{});
+}
+
+} // namespace
+
+TEST(Peec, AcMatchesDirectSolver) {
+    const PlaneBem bem = strip_pair();
+    Netlist nl;
+    std::vector<NodeId> map;
+    for (std::size_t k = 0; k < bem.node_count(); ++k)
+        map.push_back(nl.add_node("m" + std::to_string(k)));
+    stamp_peec(nl, bem, map, nl.ground(), "p", PeecOptions{0.0, 0.0});
+
+    const std::size_t port = bem.mesh().nearest_node({0.003, 0.003}, 0);
+    nl.add_isource("I1", nl.ground(), map[port], Source::dc(0.0).set_ac(1.0));
+
+    const DirectSolver ref(bem, SurfaceImpedance::from_sheet_resistance(5e-3));
+    for (double f : {10e6, 100e6, 1e9}) {
+        const AcSolution sol = ac_analyze(nl, f);
+        const Complex z_peec = sol.v(map[port]);
+        const Complex z_ref = ref.port_impedance(f, {port})(0, 0);
+        EXPECT_NEAR(std::abs(z_peec), std::abs(z_ref), 0.03 * std::abs(z_ref))
+            << "f=" << f;
+    }
+}
+
+TEST(Peec, TransientStableOnTwoNets) {
+    const PlaneBem bem = strip_pair();
+    Netlist nl;
+    std::vector<NodeId> map;
+    for (std::size_t k = 0; k < bem.node_count(); ++k)
+        map.push_back(nl.add_node("m" + std::to_string(k)));
+    stamp_peec(nl, bem, map, nl.ground(), "p");
+
+    // Kick net a with a fast pulse through 50 ohms; watch net b.
+    const std::size_t drive = bem.mesh().nearest_node({0.003, 0.003}, 0);
+    const std::size_t victim = bem.mesh().nearest_node({0.003, 0.015}, 1);
+    const NodeId src = nl.add_node("src");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.2e-9, 0.2e-9, 2e-9));
+    nl.add_resistor("Rs", src, map[drive], 50.0);
+    nl.add_resistor("Rv", map[victim], nl.ground(), 50.0);
+
+    TransientOptions opt;
+    opt.dt = 20e-12;
+    opt.tstop = 10e-9;
+    opt.probes = {map[drive], map[victim]};
+    const TransientResult res = transient_analyze(nl, opt);
+    // Bounded (stable) response, with real inductive crosstalk on the victim.
+    EXPECT_LT(res.peak_abs(map[drive]), 5.0);
+    EXPECT_LT(res.peak_abs(map[victim]), 5.0);
+    EXPECT_GT(res.peak_abs(map[victim]), 1e-4);
+    // The tail has decayed (no growing internal mode).
+    const VectorD w = res.waveform(map[victim]);
+    double tail = 0;
+    for (std::size_t i = w.size() - 20; i < w.size(); ++i)
+        tail = std::max(tail, std::abs(w[i]));
+    EXPECT_LT(tail, 0.5 * res.peak_abs(map[victim]) + 1e-6);
+}
+
+TEST(Peec, CouplingFloorPrunes) {
+    const PlaneBem bem = strip_pair();
+    Netlist all, pruned;
+    std::vector<NodeId> m1, m2;
+    for (std::size_t k = 0; k < bem.node_count(); ++k) {
+        m1.push_back(all.add_node("m" + std::to_string(k)));
+        m2.push_back(pruned.add_node("m" + std::to_string(k)));
+    }
+    stamp_peec(all, bem, m1, all.ground(), "p", PeecOptions{0.0, 0.0});
+    stamp_peec(pruned, bem, m2, pruned.ground(), "p", PeecOptions{0.05, 0.01});
+    EXPECT_LT(pruned.mutuals().size(), all.mutuals().size());
+    EXPECT_LT(pruned.capacitors().size(), all.capacitors().size());
+    EXPECT_EQ(pruned.inductors().size(), all.inductors().size());
+}
+
+TEST(Peec, RejectsBadNodeMap) {
+    const PlaneBem bem = strip_pair();
+    Netlist nl;
+    std::vector<NodeId> map(3, nl.ground());
+    EXPECT_THROW(stamp_peec(nl, bem, map, nl.ground(), "p"), InvalidArgument);
+}

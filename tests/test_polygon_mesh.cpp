@@ -1,0 +1,106 @@
+// Tests for polygons and the rectangular surface mesh.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/rectmesh.hpp"
+
+using namespace pgsi;
+
+TEST(Polygon, RectangleContainment) {
+    const Polygon r = Polygon::rectangle(0, 0, 2, 1);
+    EXPECT_TRUE(r.contains({1.0, 0.5}));
+    EXPECT_FALSE(r.contains({3.0, 0.5}));
+    EXPECT_FALSE(r.contains({1.0, -0.1}));
+    EXPECT_NEAR(r.area(), 2.0, 1e-12);
+}
+
+TEST(Polygon, LShape) {
+    const Polygon l = Polygon::lshape(2.0, 2.0, 1.0, 1.0);
+    EXPECT_TRUE(l.contains({0.5, 1.5}));   // vertical arm
+    EXPECT_TRUE(l.contains({1.5, 0.5}));   // horizontal arm
+    EXPECT_FALSE(l.contains({1.5, 1.5}));  // cut corner
+    EXPECT_NEAR(l.area(), 3.0, 1e-12);
+}
+
+TEST(Polygon, RejectsDegenerate) {
+    EXPECT_THROW((Polygon({{0, 0}, {1, 1}})), InvalidArgument);
+    EXPECT_THROW(Polygon::rectangle(1, 0, 0, 1), InvalidArgument);
+    EXPECT_THROW(Polygon::lshape(1, 1, 2, 0.5), InvalidArgument);
+}
+
+TEST(RectMesh, FullRectangleCounts) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.04, 0.02);
+    RectMesh mesh({s}, 0.01);
+    EXPECT_EQ(mesh.node_count(), 8u); // 4 x 2 cells
+    // branches: 3*2 horizontal + 4*1 vertical = 10
+    EXPECT_EQ(mesh.branch_count(), 10u);
+    EXPECT_EQ(mesh.component_count(), 1u);
+}
+
+TEST(RectMesh, HoleRemovesCells) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.03, 0.03);
+    s.holes.push_back(Polygon::rectangle(0.01, 0.01, 0.02, 0.02));
+    RectMesh mesh({s}, 0.01);
+    EXPECT_EQ(mesh.node_count(), 8u); // 9 cells minus center
+}
+
+TEST(RectMesh, SplitPlanesAreTwoComponents) {
+    ConductorShape a, b;
+    a.outline = Polygon::rectangle(0, 0, 0.02, 0.02);
+    a.name = "vcc0";
+    b.outline = Polygon::rectangle(0.03, 0, 0.05, 0.02);
+    b.name = "vcc1";
+    RectMesh mesh({a, b}, 0.01);
+    EXPECT_EQ(mesh.component_count(), 2u);
+    EXPECT_EQ(mesh.node_count(), 8u);
+}
+
+TEST(RectMesh, NearestNodeRespectsShape) {
+    ConductorShape a, b;
+    a.outline = Polygon::rectangle(0, 0, 0.02, 0.02);
+    b.outline = Polygon::rectangle(0.03, 0, 0.05, 0.02);
+    b.z = 1e-3;
+    RectMesh mesh({a, b}, 0.01);
+    const std::size_t n = mesh.nearest_node({0.04, 0.01}, 1);
+    EXPECT_EQ(mesh.nodes()[n].shape, 1u);
+    const std::size_t m = mesh.nearest_node({0.04, 0.01}, 0);
+    EXPECT_EQ(mesh.nodes()[m].shape, 0u);
+}
+
+TEST(RectMesh, BranchGeometry) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.02, 0.01);
+    RectMesh mesh({s}, 0.01);
+    ASSERT_EQ(mesh.branch_count(), 1u);
+    const MeshBranch& b = mesh.branches()[0];
+    EXPECT_EQ(b.dir, BranchDir::X);
+    EXPECT_NEAR(b.length(), 0.01, 1e-12);
+    EXPECT_NEAR(b.width(), 0.01, 1e-12);
+}
+
+TEST(RectMesh, RejectsTooCoarse) {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.001, 0.001);
+    EXPECT_NO_THROW(RectMesh({s}, 0.01)); // stretches to 1 cell
+    EXPECT_EQ(RectMesh({s}, 0.01).node_count(), 1u);
+}
+
+// Property sweep: total meshed area approximates the polygon area as the
+// pitch shrinks.
+class MeshAreaConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(MeshAreaConvergence, LShapeArea) {
+    const double pitch = GetParam();
+    ConductorShape s;
+    s.outline = Polygon::lshape(0.06, 0.06, 0.03, 0.03);
+    RectMesh mesh({s}, pitch);
+    double area = 0;
+    for (const MeshNode& n : mesh.nodes()) area += n.dx * n.dy;
+    EXPECT_NEAR(area, s.outline.area(), 0.12 * s.outline.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, MeshAreaConvergence,
+                         ::testing::Values(0.01, 0.005, 0.003, 0.002));

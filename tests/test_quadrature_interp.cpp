@@ -1,0 +1,86 @@
+// Tests for Gauss-Legendre quadrature and sampled-waveform utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "numeric/quadrature.hpp"
+#include "numeric/interp.hpp"
+
+using namespace pgsi;
+
+TEST(Quadrature, WeightsSumToTwo) {
+    for (int n = 1; n <= 16; ++n) {
+        const QuadratureRule& r = gauss_legendre(n);
+        double s = 0;
+        for (double w : r.weights) s += w;
+        EXPECT_NEAR(s, 2.0, 1e-13) << "order " << n;
+    }
+}
+
+TEST(Quadrature, ExactForPolynomials) {
+    // n-point Gauss is exact for degree 2n-1.
+    for (int n = 2; n <= 8; ++n) {
+        const int deg = 2 * n - 1;
+        const double val = integrate(
+            [deg](double x) { return std::pow(x, deg) + std::pow(x, deg - 1); },
+            -1.0, 1.0, n);
+        // Odd power integrates to 0; even power (deg-1) to 2/deg.
+        EXPECT_NEAR(val, 2.0 / deg, 1e-12) << "order " << n;
+    }
+}
+
+TEST(Quadrature, SinIntegral) {
+    const double v = integrate([](double x) { return std::sin(x); }, 0.0, pi, 12);
+    EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(Quadrature, TwoDimensional) {
+    // ∬ x²y over [0,1]×[0,2] = (1/3)(2) = 2/3... ∫y dy 0..2 = 2.
+    const double v = integrate2d([](double x, double y) { return x * x * y; }, 0,
+                                 1, 0, 2, 4);
+    EXPECT_NEAR(v, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Quadrature, RejectsBadOrder) {
+    EXPECT_THROW(gauss_legendre(0), InvalidArgument);
+    EXPECT_THROW(gauss_legendre(17), InvalidArgument);
+}
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+    const PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+    EXPECT_DOUBLE_EQ(f(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(f(5.0), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsNonMonotone) {
+    EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(DelayLine, ExactAtSampleBoundaries) {
+    DelayLine d(1.0, 5.0, 0.0);
+    for (int i = 1; i <= 6; ++i) d.push(i);
+    // Latest sample is 6.
+    EXPECT_DOUBLE_EQ(d.value_before_last(0.0), 6.0);
+    EXPECT_DOUBLE_EQ(d.value_before_last(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(d.value_before_last(3.0), 3.0);
+}
+
+TEST(DelayLine, InterpolatesBetweenSamples) {
+    DelayLine d(1.0, 4.0, 0.0);
+    for (int i = 1; i <= 5; ++i) d.push(i);
+    EXPECT_DOUBLE_EQ(d.value_before_last(0.5), 4.5);
+    EXPECT_DOUBLE_EQ(d.value_before_last(2.25), 2.75);
+}
+
+TEST(DelayLine, InitialFill) {
+    DelayLine d(0.1, 1.0, 7.0);
+    EXPECT_DOUBLE_EQ(d.value_before_last(0.95), 7.0);
+}
+
+TEST(DelayLine, RejectsExcessDelay) {
+    DelayLine d(1.0, 2.0, 0.0);
+    EXPECT_THROW(d.value_before_last(10.0), InvalidArgument);
+}

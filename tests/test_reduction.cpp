@@ -1,0 +1,89 @@
+// Tests for the Schur/Kron node reduction.
+#include <gtest/gtest.h>
+
+#include "extract/reduction.hpp"
+
+using namespace pgsi;
+
+TEST(Reduction, ComplementIndices) {
+    const auto c = complement_indices(5, {1, 3});
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], 0u);
+    EXPECT_EQ(c[1], 2u);
+    EXPECT_EQ(c[2], 4u);
+    EXPECT_THROW(complement_indices(3, {5}), InvalidArgument);
+    EXPECT_THROW(complement_indices(3, {1, 1}), InvalidArgument);
+}
+
+TEST(Reduction, KeepAllIsIdentity) {
+    const MatrixD m{{2, -1}, {-1, 2}};
+    const MatrixD r = schur_reduce(m, {0, 1});
+    EXPECT_DOUBLE_EQ(r(0, 0), 2);
+    EXPECT_DOUBLE_EQ(r(0, 1), -1);
+}
+
+TEST(Reduction, SeriesResistorsKron) {
+    // Path graph 0-1-2 with conductances g01 = 1, g12 = 2. Eliminating node
+    // 1 leaves the series combination 1·2/(1+2) = 2/3 between 0 and 2.
+    MatrixD g(3, 3);
+    auto add = [&](int a, int b, double c) {
+        g(a, a) += c;
+        g(b, b) += c;
+        g(a, b) -= c;
+        g(b, a) -= c;
+    };
+    add(0, 1, 1.0);
+    add(1, 2, 2.0);
+    const MatrixD r = schur_reduce(g, {0, 2});
+    EXPECT_NEAR(-r(0, 1), 2.0 / 3.0, 1e-12);
+    // Still a Laplacian: rows sum to zero.
+    EXPECT_NEAR(r(0, 0) + r(0, 1), 0.0, 1e-12);
+}
+
+TEST(Reduction, StarToPolygon) {
+    // A 4-leaf star with unit conductances reduces to a complete graph on
+    // the leaves with conductance 1/4 per pair (star-mesh transform).
+    MatrixD g(5, 5);
+    auto add = [&](int a, int b, double c) {
+        g(a, a) += c;
+        g(b, b) += c;
+        g(a, b) -= c;
+        g(b, a) -= c;
+    };
+    for (int leaf = 1; leaf <= 4; ++leaf) add(0, leaf, 1.0);
+    const MatrixD r = schur_reduce(g, {1, 2, 3, 4});
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            if (i != j) {
+                EXPECT_NEAR(-r(i, j), 0.25, 1e-12);
+            }
+}
+
+TEST(Reduction, PreservesSymmetry) {
+    MatrixD m(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) m(i, j) = 1.0 / (1 + i + j);
+    for (int i = 0; i < 4; ++i) m(i, i) += 2.0;
+    const MatrixD r = schur_reduce(m, {0, 2});
+    EXPECT_LT(r.asymmetry(), 1e-14);
+}
+
+TEST(Reduction, FloatingCapacitorReduction) {
+    // Two caps in series through an internal node: C1 = 2, C2 = 2 -> 1.
+    MatrixD c(3, 3);
+    auto add = [&](int a, int b, double v) {
+        c(a, a) += v;
+        c(b, b) += v;
+        c(a, b) -= v;
+        c(b, a) -= v;
+    };
+    add(0, 1, 2.0);
+    add(1, 2, 2.0);
+    const MatrixD r = schur_reduce(c, {0, 2});
+    EXPECT_NEAR(-r(0, 1), 1.0, 1e-12);
+}
+
+TEST(Reduction, RejectsEmptyKeep) {
+    const MatrixD m{{1, 0}, {0, 1}};
+    EXPECT_THROW(schur_reduce(m, {}), InvalidArgument);
+}

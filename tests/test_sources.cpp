@@ -1,0 +1,67 @@
+// Tests for source waveforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/sources.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+using namespace pgsi;
+
+TEST(Source, Dc) {
+    const Source s = Source::dc(3.3);
+    EXPECT_DOUBLE_EQ(s.value(0.0), 3.3);
+    EXPECT_DOUBLE_EQ(s.value(1e9), 3.3);
+    EXPECT_DOUBLE_EQ(s.settle_time(), 0.0);
+}
+
+TEST(Source, PulseShape) {
+    const Source s = Source::pulse(0, 5, 1e-9, 0.3e-9, 0.3e-9, 1e-9);
+    EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(1e-9), 0.0);                 // at delay
+    EXPECT_NEAR(s.value(1.15e-9), 2.5, 1e-9);             // mid rise
+    EXPECT_DOUBLE_EQ(s.value(1.5e-9), 5.0);               // plateau
+    EXPECT_NEAR(s.value(2.45e-9), 2.5, 1e-9);             // mid fall
+    EXPECT_DOUBLE_EQ(s.value(5e-9), 0.0);                 // settled
+    EXPECT_NEAR(s.settle_time(), 2.6e-9, 1e-15);
+}
+
+TEST(Source, PeriodicPulse) {
+    const Source s = Source::pulse(0, 1, 0, 1e-9, 1e-9, 3e-9, 10e-9);
+    EXPECT_DOUBLE_EQ(s.value(2e-9), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(12e-9), 1.0); // second period
+    EXPECT_TRUE(std::isinf(s.settle_time()));
+}
+
+TEST(Source, Sine) {
+    const Source s = Source::sine(1.0, 2.0, 1e6);
+    EXPECT_DOUBLE_EQ(s.value(0.0), 1.0);
+    EXPECT_NEAR(s.value(0.25e-6), 3.0, 1e-9); // quarter period peak
+    EXPECT_NEAR(s.value(0.75e-6), -1.0, 1e-9);
+}
+
+TEST(Source, SineDamped) {
+    const Source s = Source::sine(0.0, 1.0, 1e6, 0.0, 1e6);
+    EXPECT_LT(std::abs(s.value(2.25e-6)), std::abs(s.value(0.25e-6)));
+}
+
+TEST(Source, Pwl) {
+    const Source s = Source::pwl({0, 1e-9, 2e-9}, {0, 1, 0});
+    EXPECT_NEAR(s.value(0.5e-9), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(s.value(9e-9), 0.0);
+    EXPECT_NEAR(s.settle_time(), 2e-9, 1e-18);
+}
+
+TEST(Source, AcPhasor) {
+    Source s = Source::dc(0.0);
+    s.set_ac(2.0, 90.0);
+    const Complex p = s.ac_phasor();
+    EXPECT_NEAR(p.real(), 0.0, 1e-12);
+    EXPECT_NEAR(p.imag(), 2.0, 1e-12);
+}
+
+TEST(Source, RejectsBadPulse) {
+    EXPECT_THROW(Source::pulse(0, 1, 0, 0.0, 1e-9, 1e-9), InvalidArgument);
+    EXPECT_THROW(Source::sine(0, 1, -5.0), InvalidArgument);
+}

@@ -1,0 +1,99 @@
+// Tests for the Touchstone-driven S-parameter black-box element.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/sparams.hpp"
+#include "circuit/transient.hpp"
+#include "common/constants.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// Tabulate the S-parameters of a known series-R two-port and wrap them in
+// TouchstoneData.
+std::shared_ptr<TouchstoneData> series_r_table(double r, const VectorD& freqs) {
+    Netlist nl;
+    const NodeId p1 = nl.node("p1");
+    const NodeId p2 = nl.node("p2");
+    nl.add_resistor("R1", p1, p2, r);
+    SParamExtractor ex(nl, {{p1, 0, 50.0}, {p2, 0, 50.0}});
+    auto data = std::make_shared<TouchstoneData>();
+    data->freqs_hz = freqs;
+    data->z0 = 50.0;
+    for (double f : freqs) data->s.push_back(ex.at(f));
+    return data;
+}
+
+} // namespace
+
+TEST(SParamBlock, ReproducesTabulatedNetwork) {
+    // Black-box the 100-ohm series two-port and re-measure it: the AC
+    // response must match the original resistor at tabulated and
+    // interpolated frequencies alike.
+    const VectorD table_freqs{1e6, 10e6, 100e6, 1e9};
+    auto data = series_r_table(100.0, table_freqs);
+
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_sparam_block("Sblk", {a, b}, data);
+    // Drive: 1 V behind 50, terminate with 50.
+    const NodeId src = nl.node("src");
+    nl.add_vsource("V1", src, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    nl.add_resistor("Rs", src, a, 50.0);
+    nl.add_resistor("Rl", b, nl.ground(), 50.0);
+
+    for (double f : {1e6, 5e6, 300e6}) { // includes interpolated points
+        const AcSolution s = ac_analyze(nl, f);
+        // Voltage divider: V(b) = 1 * 50 / (50 + 100 + 50) = 0.25.
+        EXPECT_NEAR(std::abs(s.v(b)), 0.25, 1e-6) << f;
+        EXPECT_NEAR(std::abs(s.v(a)), 0.75, 1e-6) << f;
+    }
+}
+
+TEST(SParamBlock, OnePortShuntElement) {
+    // 1-port table of a 25-ohm shunt; the block must load a divider like the
+    // real resistor.
+    Netlist ref;
+    const NodeId q = ref.node("q");
+    ref.add_resistor("R1", q, ref.ground(), 25.0);
+    SParamExtractor ex(ref, {{q, 0, 50.0}});
+    auto data = std::make_shared<TouchstoneData>();
+    data->freqs_hz = {1e6, 1e9};
+    data->z0 = 50.0;
+    for (double f : data->freqs_hz) data->s.push_back(ex.at(f));
+
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_sparam_block("S1", {a}, data);
+    const NodeId src = nl.node("src");
+    nl.add_vsource("V1", src, nl.ground(), Source::dc(0.0).set_ac(1.0));
+    nl.add_resistor("Rs", src, a, 75.0);
+    const AcSolution s = ac_analyze(nl, 50e6);
+    EXPECT_NEAR(std::abs(s.v(a)), 25.0 / 100.0, 1e-6);
+}
+
+TEST(SParamBlock, TransientRejectsIt) {
+    auto data = series_r_table(100.0, {1e6, 1e9});
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_sparam_block("Sblk", {a, b}, data);
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(1.0));
+    nl.add_resistor("Rl", b, nl.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 1e-10;
+    opt.tstop = 1e-9;
+    EXPECT_THROW(transient_analyze(nl, opt), InvalidArgument);
+}
+
+TEST(SParamBlock, Validation) {
+    auto data = series_r_table(100.0, {1e6, 1e9});
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    EXPECT_THROW(nl.add_sparam_block("bad", {a}, data), InvalidArgument);
+    EXPECT_THROW(nl.add_sparam_block("bad", {a, a}, nullptr), InvalidArgument);
+}

@@ -1,0 +1,93 @@
+// Tests for S-parameter conversions and circuit-level extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/sparams.hpp"
+#include "common/constants.hpp"
+
+using namespace pgsi;
+
+TEST(SParams, ZtoSMatchedLoad) {
+    // A 1-port of exactly Z0 has S11 = 0.
+    MatrixC z(1, 1);
+    z(0, 0) = Complex(50.0, 0.0);
+    const MatrixC s = z_to_s(z, 50.0);
+    EXPECT_NEAR(std::abs(s(0, 0)), 0.0, 1e-12);
+}
+
+TEST(SParams, ZtoSOpenAndShort) {
+    MatrixC open(1, 1), shrt(1, 1);
+    open(0, 0) = Complex(1e12, 0.0);
+    shrt(0, 0) = Complex(1e-9, 0.0);
+    EXPECT_NEAR(z_to_s(open, 50.0)(0, 0).real(), 1.0, 1e-9);
+    EXPECT_NEAR(z_to_s(shrt, 50.0)(0, 0).real(), -1.0, 1e-9);
+}
+
+TEST(SParams, YtoSConsistentWithZtoS) {
+    MatrixC z(2, 2);
+    z(0, 0) = Complex(60, 10);
+    z(0, 1) = Complex(20, -5);
+    z(1, 0) = Complex(20, -5);
+    z(1, 1) = Complex(80, 0);
+    const MatrixC sz = z_to_s(z, 50.0);
+    // Y = Z^{-1}
+    MatrixC y = Lu<Complex>(z).inverse();
+    const MatrixC sy = y_to_s(y, 50.0);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            EXPECT_NEAR(std::abs(sz(i, j) - sy(i, j)), 0.0, 1e-10);
+}
+
+TEST(SParams, SeriesResistorTwoPort) {
+    // Series R between two ports: S21 = 2Z0/(2Z0+R), S11 = R/(2Z0+R).
+    Netlist nl;
+    const NodeId p1 = nl.node("p1");
+    const NodeId p2 = nl.node("p2");
+    const double r = 100.0;
+    nl.add_resistor("R1", p1, p2, r);
+    SParamExtractor ex(nl, {{p1, 0, 50.0}, {p2, 0, 50.0}});
+    const MatrixC s = ex.at(1e6);
+    EXPECT_NEAR(s(1, 0).real(), 100.0 / 200.0, 1e-6);
+    EXPECT_NEAR(s(0, 0).real(), 100.0 / 200.0, 1e-6);
+    // Reciprocity.
+    EXPECT_NEAR(std::abs(s(0, 1) - s(1, 0)), 0.0, 1e-9);
+}
+
+TEST(SParams, ShuntCapacitorReflectsLosslessly) {
+    // A lossless 1-port always has |S11| = 1; the phase rotates from the
+    // open (+1) at low frequency toward the short (−1) at high frequency.
+    Netlist nl;
+    const NodeId p = nl.node("p");
+    nl.add_capacitor("C1", p, nl.ground(), 10e-12);
+    SParamExtractor ex(nl, {{p, 0, 50.0}});
+    const double fc = 1.0 / (2 * pi * 50.0 * 10e-12);
+    const MatrixC lo = ex.at(fc / 100);
+    const MatrixC hi = ex.at(fc * 100);
+    EXPECT_NEAR(std::abs(lo(0, 0)), 1.0, 1e-6);
+    EXPECT_NEAR(std::abs(hi(0, 0)), 1.0, 1e-6);
+    EXPECT_GT(lo(0, 0).real(), 0.99);
+    EXPECT_LT(hi(0, 0).real(), -0.99);
+}
+
+TEST(SParams, PassivityOfResistiveNetwork) {
+    // |S| entries of a passive resistive attenuator are all < 1.
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_resistor("R1", a, b, 30.0);
+    nl.add_resistor("R2", a, nl.ground(), 100.0);
+    nl.add_resistor("R3", b, nl.ground(), 100.0);
+    SParamExtractor ex(nl, {{a, 0, 50.0}, {b, 0, 50.0}});
+    const MatrixC s = ex.at(1e8);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) EXPECT_LT(std::abs(s(i, j)), 1.0);
+}
+
+TEST(SParams, RejectsMixedReferenceImpedance) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_resistor("R1", a, nl.ground(), 10.0);
+    EXPECT_THROW(SParamExtractor(nl, {{a, 0, 50.0}, {a, 0, 75.0}}),
+                 InvalidArgument);
+}

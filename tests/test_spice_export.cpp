@@ -1,0 +1,58 @@
+// Tests for the SPICE subckt exporter (round trip through our own parser).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "extract/spice_export.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+EquivalentCircuit tiny_circuit() {
+    EquivalentCircuit ec;
+    ec.node_position = {{0, 0}, {1e-2, 0}};
+    ec.node_z = {0, 0};
+    ec.node_cap = {10e-12, 12e-12};
+    RlcBranch b;
+    b.m = 0;
+    b.n = 1;
+    b.r = 0.01;
+    b.l = 2e-9;
+    b.c = 1e-12;
+    ec.branches.push_back(b);
+    return ec;
+}
+
+} // namespace
+
+TEST(SpiceExport, EmitsSubcktStructure) {
+    const std::string s = spice_subckt_string(tiny_circuit(), "pgplane");
+    EXPECT_NE(s.find(".SUBCKT pgplane n0 n1 ref"), std::string::npos);
+    EXPECT_NE(s.find(".ENDS pgplane"), std::string::npos);
+    EXPECT_NE(s.find("C0_1 n0 n1"), std::string::npos);
+    EXPECT_NE(s.find("R0_1 n0 mid0"), std::string::npos);
+    EXPECT_NE(s.find("L0_1 mid0 n1"), std::string::npos);
+    EXPECT_NE(s.find("Cg0 n0 ref"), std::string::npos);
+    EXPECT_NE(s.find("Cg1 n1 ref"), std::string::npos);
+}
+
+TEST(SpiceExport, PureInductorBranch) {
+    EquivalentCircuit ec = tiny_circuit();
+    ec.branches[0].r = 0;
+    const std::string s = spice_subckt_string(ec, "x");
+    EXPECT_NE(s.find("L0_1 n0 n1"), std::string::npos);
+    EXPECT_EQ(s.find("R0_1"), std::string::npos);
+}
+
+TEST(SpiceExport, ValuesSurviveFullPrecision) {
+    const std::string s = spice_subckt_string(tiny_circuit(), "x");
+    EXPECT_NE(s.find("2e-09"), std::string::npos);  // inductance
+    EXPECT_NE(s.find("0.01"), std::string::npos);   // resistance
+}
+
+TEST(SpiceExport, StreamOverload) {
+    std::ostringstream os;
+    write_spice_subckt(os, tiny_circuit(), "y");
+    EXPECT_FALSE(os.str().empty());
+}

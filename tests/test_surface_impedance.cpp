@@ -1,0 +1,59 @@
+// Tests for the conductor surface-impedance model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "em/surface_impedance.hpp"
+
+using namespace pgsi;
+
+TEST(SurfaceImpedance, DefaultIsLossless) {
+    const SurfaceImpedance z;
+    EXPECT_TRUE(z.lossless());
+    EXPECT_DOUBLE_EQ(z.dc(), 0.0);
+    EXPECT_DOUBLE_EQ(z.at(1e9).real(), 0.0);
+}
+
+TEST(SurfaceImpedance, SheetResistanceIsFlat) {
+    const SurfaceImpedance z = SurfaceImpedance::from_sheet_resistance(6e-3);
+    EXPECT_DOUBLE_EQ(z.dc(), 6e-3);
+    EXPECT_DOUBLE_EQ(z.at(2 * pi * 1e9).real(), 6e-3);
+    EXPECT_DOUBLE_EQ(z.at(2 * pi * 1e9).imag(), 0.0);
+}
+
+TEST(SurfaceImpedance, ConductorDcLimit) {
+    // 35 µm copper: Rdc = 1/(σt) ≈ 0.49 mΩ/sq.
+    const double sigma = 5.8e7, t = 35e-6;
+    const SurfaceImpedance z = SurfaceImpedance::from_conductor(sigma, t);
+    EXPECT_NEAR(z.dc(), 1.0 / (sigma * t), 1e-15);
+    const Complex lo = z.at(2 * pi * 1e3); // δ ≈ 2 mm >> t
+    EXPECT_NEAR(lo.real(), z.dc(), 0.01 * z.dc());
+    EXPECT_LT(std::abs(lo.imag()), 0.2 * z.dc());
+}
+
+TEST(SurfaceImpedance, SkinEffectLimit) {
+    const double sigma = 5.8e7, t = 35e-6;
+    const SurfaceImpedance z = SurfaceImpedance::from_conductor(sigma, t);
+    const double f = 10e9; // δ ≈ 0.66 µm << t
+    const double delta = std::sqrt(2.0 / (2 * pi * f * mu0 * sigma));
+    const Complex hi = z.at(2 * pi * f);
+    EXPECT_NEAR(hi.real(), 1.0 / (sigma * delta), 0.02 / (sigma * delta));
+    EXPECT_NEAR(hi.imag(), hi.real(), 0.02 * hi.real()); // 45° phase
+}
+
+TEST(SurfaceImpedance, MonotoneRealPart) {
+    const SurfaceImpedance z = SurfaceImpedance::from_conductor(5.8e7, 35e-6);
+    double prev = z.at(2 * pi * 1e5).real();
+    for (double f = 1e6; f <= 1e10; f *= 10) {
+        const double cur = z.at(2 * pi * f).real();
+        EXPECT_GE(cur, prev * 0.999);
+        prev = cur;
+    }
+}
+
+TEST(SurfaceImpedance, RejectsBadInputs) {
+    EXPECT_THROW(SurfaceImpedance::from_sheet_resistance(-1.0), InvalidArgument);
+    EXPECT_THROW(SurfaceImpedance::from_conductor(0.0, 1e-6), InvalidArgument);
+    EXPECT_THROW(SurfaceImpedance::from_conductor(1e7, 0.0), InvalidArgument);
+}

@@ -1,0 +1,147 @@
+// Tests for the modal transmission-line model: delay, matching, reflection,
+// crosstalk symmetry, and frequency-domain consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.hpp"
+#include "common/constants.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+std::shared_ptr<ModalTline> line50(double length) {
+    MtlParameters p;
+    p.l = MatrixD{{250e-9}};
+    p.c = MatrixD{{100e-12}}; // Z0 = 50 Ω, v = 2e8 m/s
+    return std::make_shared<ModalTline>(p, length);
+}
+
+} // namespace
+
+TEST(ModalTline, SingleLineFigures) {
+    const auto m = line50(0.2);
+    // Modal impedance lives in the modal coordinate system: sqrt(eig(LC)) =
+    // the per-metre delay. Physical behaviour is carried by Yc.
+    EXPECT_NEAR(m->modal_impedance()[0], 5e-9, 1e-15);
+    EXPECT_NEAR(m->delays()[0], 1e-9, 1e-15); // 0.2 m / 2e8 m/s
+    EXPECT_NEAR(m->characteristic_admittance()(0, 0), 1.0 / 50.0, 1e-12);
+}
+
+TEST(ModalTline, MatchedLineDelaysPulse) {
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.1e-9, 0.1e-9, 2e-9));
+    nl.add_resistor("Rs", src, in, 50.0);
+    nl.add_tline("T1", {in}, {out}, line50(0.2)); // 1 ns delay
+    nl.add_resistor("Rl", out, nl.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 10e-12;
+    opt.tstop = 4e-9;
+    const TransientResult res = transient_analyze(nl, opt);
+    const VectorD w_in = res.waveform(in);
+    const VectorD w_out = res.waveform(out);
+    // Incident amplitude is 1 V (2 V behind 50 into 50); far end sees the
+    // same 1 V one delay later, no reflection.
+    auto at = [&](const VectorD& w, double t) {
+        return w[static_cast<std::size_t>(t / opt.dt)];
+    };
+    EXPECT_NEAR(at(w_in, 0.6e-9), 1.0, 0.02);
+    EXPECT_NEAR(at(w_out, 0.9e-9), 0.0, 0.02); // before the delay
+    EXPECT_NEAR(at(w_out, 1.6e-9), 1.0, 0.02); // after the delay
+}
+
+TEST(ModalTline, OpenEndDoublesShortEndCancels) {
+    for (const bool open : {true, false}) {
+        Netlist nl;
+        const NodeId src = nl.node("src");
+        const NodeId in = nl.node("in");
+        const NodeId out = nl.node("out");
+        nl.add_vsource("V1", src, nl.ground(),
+                       Source::pulse(0, 2, 0, 0.1e-9, 0.1e-9, 5e-9));
+        nl.add_resistor("Rs", src, in, 50.0);
+        nl.add_tline("T1", {in}, {out}, line50(0.2));
+        nl.add_resistor("Rl", out, nl.ground(), open ? 1e9 : 1e-3);
+        TransientOptions opt;
+        opt.dt = 10e-12;
+        opt.tstop = 4e-9;
+        const TransientResult res = transient_analyze(nl, opt);
+        const VectorD w_out = res.waveform(out);
+        const double v_mid =
+            w_out[static_cast<std::size_t>(1.8e-9 / opt.dt)];
+        if (open)
+            EXPECT_NEAR(v_mid, 2.0, 0.05); // reflection doubles
+        else
+            EXPECT_NEAR(v_mid, 0.0, 0.05); // short kills it
+    }
+}
+
+TEST(ModalTline, CoupledPairCrosstalkSigns) {
+    // Symmetric coupled pair: near-end crosstalk on the quiet line is
+    // positive (for this L/C sign convention), far-end is negative, and both
+    // vanish when the coupling does.
+    MtlParameters p;
+    p.l = MatrixD{{300e-9, 60e-9}, {60e-9, 300e-9}};
+    p.c = MatrixD{{120e-12, -15e-12}, {-15e-12, 120e-12}};
+    auto model = std::make_shared<ModalTline>(p, 0.15);
+
+    Netlist nl;
+    const NodeId src = nl.node("src");
+    const NodeId a_in = nl.node("a_in");
+    const NodeId a_out = nl.node("a_out");
+    const NodeId b_in = nl.node("b_in");
+    const NodeId b_out = nl.node("b_out");
+    nl.add_vsource("V1", src, nl.ground(),
+                   Source::pulse(0, 2, 0, 0.2e-9, 0.2e-9, 3e-9));
+    nl.add_resistor("Rs", src, a_in, 50.0);
+    nl.add_resistor("Rbn", b_in, nl.ground(), 50.0);
+    nl.add_tline("T1", {a_in, b_in}, {a_out, b_out}, model);
+    nl.add_resistor("Ral", a_out, nl.ground(), 50.0);
+    nl.add_resistor("Rbl", b_out, nl.ground(), 50.0);
+
+    TransientOptions opt;
+    opt.dt = 10e-12;
+    opt.tstop = 5e-9;
+    const TransientResult res = transient_analyze(nl, opt);
+    const double ne = res.peak_abs(b_in);
+    const double fe = res.peak_abs(b_out);
+    EXPECT_GT(ne, 0.01);  // crosstalk exists
+    EXPECT_GT(fe, 0.01);
+    EXPECT_LT(ne, 0.5);   // and is a fraction of the 1 V aggressor
+    EXPECT_LT(fe, 0.5);
+}
+
+TEST(ModalTline, AcAdmittanceMatchesCircuitBehaviour) {
+    // Half-wave line: input impedance equals the load.
+    const auto m = line50(0.2); // τ = 1 ns -> half wave at 500 MHz
+    const MatrixC y = m->ac_admittance(2 * pi * 500e6 * 1.000001);
+    // For the (nearly singular) half-wave point use the quarter-wave instead.
+    const MatrixC yq = m->ac_admittance(2 * pi * 250e6);
+    // Quarter wave: y11 ~ 0 (cot(π/2) = 0), |y12| = 1/Z0.
+    EXPECT_NEAR(std::abs(yq(0, 0)), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(yq(0, 1)), 1.0 / 50.0, 1e-9);
+    (void)y;
+}
+
+TEST(ModalTline, RejectsTooCoarseTimeStep) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(0.0));
+    nl.add_tline("T1", {a}, {b}, line50(0.02)); // τ = 100 ps
+    nl.add_resistor("R1", b, nl.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 1e-9; // dt > τ
+    opt.tstop = 5e-9;
+    EXPECT_THROW(transient_analyze(nl, opt), InvalidArgument);
+}
+
+TEST(ModalTline, TerminalCountValidation) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    EXPECT_THROW(nl.add_tline("T1", {a}, {a, a}, line50(0.1)), InvalidArgument);
+}

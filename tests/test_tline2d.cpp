@@ -1,0 +1,107 @@
+// Tests for the 2-D transmission-line parameter extractor against classic
+// closed-form microstrip design formulas (Hammerstad).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "numeric/cholesky.hpp"
+#include "tline2d/mtl_extract.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// Hammerstad's synthesis formulas for a single microstrip.
+double hammerstad_eps_eff(double w_over_h, double eps_r) {
+    return 0.5 * (eps_r + 1) +
+           0.5 * (eps_r - 1) / std::sqrt(1.0 + 12.0 / w_over_h);
+}
+
+double hammerstad_z0(double w_over_h, double eps_r) {
+    const double ee = hammerstad_eps_eff(w_over_h, eps_r);
+    if (w_over_h <= 1.0)
+        return 60.0 / std::sqrt(ee) *
+               std::log(8.0 / w_over_h + 0.25 * w_over_h);
+    return 120.0 * pi /
+           (std::sqrt(ee) *
+            (w_over_h + 1.393 + 0.667 * std::log(w_over_h + 1.444)));
+}
+
+} // namespace
+
+class MicrostripSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MicrostripSweep, MatchesHammerstad) {
+    const double w_over_h = std::get<0>(GetParam());
+    const double eps_r = std::get<1>(GetParam());
+    const double h = 1e-3;
+    const MtlParameters p =
+        extract_microstrip({{0.0, w_over_h * h}}, eps_r, h);
+    const LineFigures f = line_figures(p);
+    const double z_ref = hammerstad_z0(w_over_h, eps_r);
+    const double e_ref = hammerstad_eps_eff(w_over_h, eps_r);
+    // A thin-strip BEM against an empirical closed form: agree within ~8%.
+    EXPECT_NEAR(f.z0, z_ref, 0.08 * z_ref) << "w/h=" << w_over_h;
+    EXPECT_NEAR(f.eps_eff, e_ref, 0.08 * e_ref) << "w/h=" << w_over_h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MicrostripSweep,
+    ::testing::Values(std::make_tuple(0.5, 4.5), std::make_tuple(1.0, 4.5),
+                      std::make_tuple(2.0, 4.5), std::make_tuple(1.0, 9.6),
+                      std::make_tuple(1.0, 2.2), std::make_tuple(3.0, 4.5)));
+
+TEST(Mtl2d, AirLinePropagatesAtC) {
+    const MtlParameters p = extract_microstrip({{0.0, 1e-3}}, 1.0, 1e-3);
+    const LineFigures f = line_figures(p);
+    EXPECT_NEAR(f.eps_eff, 1.0, 0.01);
+    EXPECT_NEAR(f.delay_per_m, 1.0 / c0, 0.01 / c0);
+}
+
+TEST(Mtl2d, CoupledPairStructure) {
+    // Symmetric pair: matrices symmetric, diagonal dominant, proper signs.
+    const double h = 1e-3, w = 1e-3, s = 1e-3;
+    const MtlParameters p = extract_microstrip(
+        {{-0.5 * (w + s), w}, {0.5 * (w + s), w}}, 4.5, h);
+    EXPECT_LT(p.c.asymmetry(), 1e-15);
+    EXPECT_LT(p.l.asymmetry(), 1e-15);
+    EXPECT_GT(p.c(0, 0), 0.0);
+    EXPECT_LT(p.c(0, 1), 0.0);     // Maxwell off-diagonal is negative
+    EXPECT_GT(p.l(0, 1), 0.0);     // mutual inductance is positive
+    EXPECT_LT(p.l(0, 1), p.l(0, 0));
+    EXPECT_NEAR(p.c(0, 0), p.c(1, 1), 1e-15); // symmetric pair
+    EXPECT_TRUE(is_spd(p.l));
+    EXPECT_TRUE(is_spd(p.c));
+}
+
+TEST(Mtl2d, CouplingDecaysWithSeparation) {
+    const double h = 1e-3, w = 1e-3;
+    auto coupling = [&](double s) {
+        const MtlParameters p = extract_microstrip(
+            {{-0.5 * (w + s), w}, {0.5 * (w + s), w}}, 4.5, h);
+        return -p.c(0, 1) / p.c(0, 0);
+    };
+    const double near = coupling(0.5e-3);
+    const double far = coupling(4e-3);
+    EXPECT_GT(near, 3.0 * far);
+}
+
+TEST(Mtl2d, SegmentConvergence) {
+    Mtl2dOptions coarse;
+    coarse.segments_per_strip = 8;
+    Mtl2dOptions fine;
+    fine.segments_per_strip = 64;
+    const LineFigures fc =
+        line_figures(extract_microstrip({{0.0, 1e-3}}, 4.5, 1e-3, coarse));
+    const LineFigures ff =
+        line_figures(extract_microstrip({{0.0, 1e-3}}, 4.5, 1e-3, fine));
+    EXPECT_NEAR(fc.z0, ff.z0, 0.02 * ff.z0);
+}
+
+TEST(Mtl2d, RejectsBadInputs) {
+    EXPECT_THROW(extract_microstrip({}, 4.5, 1e-3), InvalidArgument);
+    EXPECT_THROW(extract_microstrip({{0.0, 0.0}}, 4.5, 1e-3), InvalidArgument);
+    EXPECT_THROW(extract_microstrip({{0.0, 1e-3}}, 0.5, 1e-3), InvalidArgument);
+}

@@ -1,0 +1,132 @@
+// Tests for the vector-fitting macromodeler and its Foster synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/constants.hpp"
+#include "em/bem_plane.hpp"
+#include "em/solver.hpp"
+#include "extract/vector_fit.hpp"
+#include "numeric/eigen.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// Synthetic rational target with known poles/residues.
+Complex synth(double f) {
+    const Complex s(0.0, 2 * pi * f);
+    const Complex p1(-2e8, 6e9), r1(5e8, -1e8);
+    const Complex p2 = std::conj(p1), r2 = std::conj(r1);
+    const Complex p3(-5e8, 0.0), r3(3e9, 0.0);
+    return r1 / (s - p1) + r2 / (s - p2) + r3 / (s - p3) + 2.0 + s * 1e-10;
+}
+
+} // namespace
+
+TEST(EigenGeneral, KnownSpectra) {
+    // Triangular matrix: eigenvalues on the diagonal.
+    MatrixC a(3, 3);
+    a(0, 0) = Complex(1, 0);
+    a(0, 1) = Complex(4, 2);
+    a(1, 1) = Complex(-2, 1);
+    a(1, 2) = Complex(1, 1);
+    a(2, 2) = Complex(0, -3);
+    VectorC e = eigenvalues_general(a);
+    std::sort(e.begin(), e.end(),
+              [](Complex x, Complex y) { return x.real() < y.real(); });
+    EXPECT_NEAR(std::abs(e[0] - Complex(-2, 1)), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(e[1] - Complex(0, -3)), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(e[2] - Complex(1, 0)), 0.0, 1e-9);
+}
+
+TEST(EigenGeneral, CompanionPair) {
+    // [[0,1],[-5,-2]] has eigenvalues -1 ± 2j.
+    MatrixC a(2, 2);
+    a(0, 1) = Complex(1, 0);
+    a(1, 0) = Complex(-5, 0);
+    a(1, 1) = Complex(-2, 0);
+    VectorC e = eigenvalues_general(a);
+    std::sort(e.begin(), e.end(),
+              [](Complex x, Complex y) { return x.imag() < y.imag(); });
+    EXPECT_NEAR(std::abs(e[0] - Complex(-1, -2)), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(e[1] - Complex(-1, 2)), 0.0, 1e-9);
+}
+
+TEST(VectorFit, RecoversSyntheticRational) {
+    const VectorD freqs = lin_space(50e6, 20e9, 120);
+    VectorC h(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) h[i] = synth(freqs[i]);
+    VectorFitOptions opt;
+    opt.n_poles = 4;
+    const RationalFit fit = vector_fit(freqs, h, opt);
+    EXPECT_LT(fit.max_relative_error(freqs, h), 1e-4);
+    EXPECT_NEAR(fit.d, 2.0, 0.1);
+    EXPECT_NEAR(fit.e, 1e-10, 1e-11);
+}
+
+TEST(VectorFit, FitsExtractedPlaneImpedance) {
+    // Fit the direct MPIE sweep of a small plane across its first resonances.
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.03, 0.02);
+    s.z = 0.4e-3;
+    s.sheet_resistance = 2e-3;
+    const PlaneBem bem(RectMesh({s}, 0.03 / 10), Greens::homogeneous(4.5, true),
+                       BemOptions{});
+    const DirectSolver solver(bem, SurfaceImpedance::from_sheet_resistance(2e-3));
+    const std::size_t port = bem.mesh().nearest_node({0.003, 0.01}, 0);
+
+    const VectorD freqs = lin_space(0.05e9, 8e9, 80);
+    VectorC h(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        h[i] = solver.port_impedance(freqs[i], {port})(0, 0);
+
+    VectorFitOptions opt;
+    opt.n_poles = 16; // the band holds ~5 resonances plus the capacitive tail
+    opt.iterations = 25;
+    const RationalFit fit = vector_fit(freqs, h, opt);
+    EXPECT_LT(fit.max_relative_error(freqs, h), 0.01);
+    for (const Complex& p : fit.poles) EXPECT_LT(p.real(), 0.0);
+}
+
+TEST(VectorFit, FosterNetlistReproducesFit) {
+    const VectorD freqs = lin_space(50e6, 20e9, 120);
+    VectorC h(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) h[i] = synth(freqs[i]);
+    VectorFitOptions opt;
+    opt.n_poles = 4;
+    const RationalFit fit = vector_fit(freqs, h, opt);
+
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    stamp_foster_impedance(nl, "Zfit", a, nl.ground(), fit);
+    nl.add_isource("I1", nl.ground(), a, Source::dc(0.0).set_ac(1.0));
+    for (double f : {0.1e9, 1e9, 3e9, 10e9}) {
+        const AcSolution sol = ac_analyze(nl, f);
+        const Complex z_net = sol.v(a);
+        const Complex z_fit = fit.evaluate(f);
+        EXPECT_NEAR(std::abs(z_net - z_fit), 0.0, 0.01 * std::abs(z_fit))
+            << "f=" << f;
+    }
+}
+
+TEST(VectorFit, InputValidation) {
+    const VectorD f{1e6, 2e6, 3e6, 4e6};
+    const VectorC h{Complex(1, 0), Complex(1, 0), Complex(1, 0), Complex(1, 0)};
+    VectorFitOptions opt;
+    opt.n_poles = 3; // odd
+    EXPECT_THROW(vector_fit(f, h, opt), InvalidArgument);
+    opt.n_poles = 8; // too many for 4 samples
+    EXPECT_THROW(vector_fit(f, h, opt), InvalidArgument);
+}
+
+TEST(VectorFit, UnstableFitRejectedBySynthesis) {
+    RationalFit fit;
+    fit.poles = {Complex(1e8, 0)};
+    fit.residues = {Complex(1e9, 0)};
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    EXPECT_THROW(stamp_foster_impedance(nl, "bad", a, nl.ground(), fit),
+                 InvalidArgument);
+}

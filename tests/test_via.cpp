@@ -1,0 +1,68 @@
+// Tests for the via parasitic model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "common/constants.hpp"
+#include "em/via.hpp"
+
+using namespace pgsi;
+
+TEST(Via, ReferenceGeometryValues) {
+    // A 1.6 mm / 0.3 mm drill via: the classic rule of thumb gives roughly
+    // 1 - 1.5 nH of barrel inductance.
+    const ViaSpec v;
+    EXPECT_GT(v.inductance(), 0.7e-9);
+    EXPECT_LT(v.inductance(), 1.6e-9);
+    // Plated barrel resistance: sub-milliohm range.
+    EXPECT_GT(v.resistance(), 0.2e-3);
+    EXPECT_LT(v.resistance(), 3e-3);
+    // Pad/antipad capacitance: a fraction of a pF.
+    EXPECT_GT(v.capacitance(), 0.1e-12);
+    EXPECT_LT(v.capacitance(), 2e-12);
+}
+
+TEST(Via, Monotonicity) {
+    ViaSpec base;
+    ViaSpec longer = base;
+    longer.length = 2 * base.length;
+    EXPECT_GT(longer.inductance(), 2 * base.inductance() * 0.99);
+    EXPECT_NEAR(longer.resistance(), 2 * base.resistance(), 1e-9);
+
+    ViaSpec fatter = base;
+    fatter.drill = 2 * base.drill;
+    EXPECT_LT(fatter.inductance(), base.inductance());
+
+    ViaSpec tighter = base;
+    tighter.antipad = 0.8e-3;
+    EXPECT_GT(tighter.capacitance(), base.capacitance());
+}
+
+TEST(Via, StampBehavesAsSeriesRL) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    const ViaSpec v;
+    stamp_via(nl, "via1", a, b, nl.ground(), v);
+    nl.add_isource("I1", nl.ground(), a, Source::dc(0.0).set_ac(1.0));
+    nl.add_resistor("Rload", b, nl.ground(), 1e-3);
+
+    // At 1 GHz the barrel reactance dominates: |V(a)| ≈ ωL.
+    const double f = 1e9;
+    const AcSolution s = ac_analyze(nl, f);
+    const double expect = 2 * pi * f * v.inductance();
+    EXPECT_NEAR(std::abs(s.v(a)), expect, 0.05 * expect);
+}
+
+TEST(Via, Validation) {
+    ViaSpec bad;
+    bad.plating = 1e-3; // thicker than the drill
+    EXPECT_THROW(bad.resistance(), InvalidArgument);
+    bad = ViaSpec{};
+    bad.antipad = bad.pad;
+    EXPECT_THROW(bad.capacitance(), InvalidArgument);
+    bad = ViaSpec{};
+    bad.length = 0;
+    EXPECT_THROW(bad.inductance(), InvalidArgument);
+}

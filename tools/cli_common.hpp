@@ -1,0 +1,68 @@
+// Minimal argument parsing shared by the pgsi command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+#include "common/error.hpp"
+
+namespace pgsi::cli {
+
+/// Parsed command line: positional arguments plus --key value options
+/// (--flag with no value stores an empty string).
+class Args {
+public:
+    Args(int argc, char** argv, const std::vector<std::string>& known_flags) {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                const std::string key = a.substr(2);
+                bool known = false;
+                for (const std::string& k : known_flags)
+                    if (k == key) known = true;
+                if (!known)
+                    throw InvalidArgument("unknown option --" + key);
+                if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+                    options_[key] = argv[++i];
+                else
+                    options_[key] = "";
+            } else {
+                positional_.push_back(std::move(a));
+            }
+        }
+    }
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+    std::string str(const std::string& key, const std::string& fallback) const {
+        const auto it = options_.find(key);
+        return it == options_.end() ? fallback : it->second;
+    }
+
+    double num(const std::string& key, double fallback) const {
+        const auto it = options_.find(key);
+        return it == options_.end() ? fallback : parse_spice_value(it->second);
+    }
+
+private:
+    std::vector<std::string> positional_;
+    std::map<std::string, std::string> options_;
+};
+
+/// Standard error wrapper for tool main()s.
+template <class F>
+int run_tool(F&& body, const char* usage) {
+    try {
+        return body();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n\nusage: %s\n", e.what(), usage);
+        return 1;
+    }
+}
+
+} // namespace pgsi::cli

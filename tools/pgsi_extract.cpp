@@ -1,0 +1,137 @@
+// pgsi_extract — extract a power-plane macromodel from a board file.
+//
+//   pgsi_extract <board-file> [--pitch 10m] [--interior 16] [--prune 0.02]
+//                [--spice out.sp] [--touchstone out.sNp]
+//                [--fstart 10meg] [--fstop 5g] [--points 20]
+//
+// Ports are the driver Vcc pins (in board-file order) plus the VRM
+// connection. Writes a SPICE subcircuit and/or a Touchstone S-parameter
+// sweep and prints a summary.
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/sparams.hpp"
+#include "extract/spice_export.hpp"
+#include "extract/vector_fit.hpp"
+#include "io/touchstone.hpp"
+#include "si/board_file.hpp"
+#include "si/cosim.hpp"
+#include "tools/cli_common.hpp"
+
+using namespace pgsi;
+
+namespace {
+constexpr const char* kUsage =
+    "pgsi_extract <board-file> [--pitch m] [--interior n] [--prune x]\n"
+    "             [--spice out.sp] [--touchstone out.sNp]\n"
+    "             [--fstart hz] [--fstop hz] [--points n]\n"
+    "             [--fit npoles --fit-spice out.sp]";
+}
+
+int main(int argc, char** argv) {
+    return cli::run_tool(
+        [&]() -> int {
+            const cli::Args args(argc, argv,
+                                 {"pitch", "interior", "prune", "spice",
+                                  "touchstone", "fstart", "fstop", "points",
+                                  "fit", "fit-spice"});
+            PGSI_REQUIRE(args.positional().size() == 1,
+                         "expected exactly one board file");
+            const Board board = load_board_file(args.positional()[0]);
+
+            SsnModelOptions opt;
+            opt.mesh_pitch = args.num("pitch", 10e-3);
+            opt.interior_nodes =
+                static_cast<std::size_t>(args.num("interior", 16));
+            opt.prune_rel_tol = args.num("prune", 0.02);
+            const PlaneModel plane(board, opt);
+            const EquivalentCircuit& ec = plane.circuit();
+
+            std::printf("board: %.0f x %.0f mm, %zu driver sites, %zu decaps\n",
+                        board.width() * 1e3, board.height() * 1e3,
+                        board.driver_sites().size(), board.decaps().size());
+            std::printf("mesh: %zu cells; circuit: %zu nodes, %zu branches, "
+                        "C_total = %.2f nF\n",
+                        plane.bem().node_count(), ec.node_count(),
+                        ec.branches.size(),
+                        ec.total_reference_capacitance() * 1e9);
+
+            if (args.has("spice")) {
+                std::ofstream f(args.str("spice", ""));
+                PGSI_REQUIRE(f.good(), "cannot open SPICE output file");
+                write_spice_subckt(f, ec, "pgsi_plane");
+                std::printf("wrote SPICE subckt: %s\n",
+                            args.str("spice", "").c_str());
+            }
+
+            if (args.has("touchstone")) {
+                std::vector<std::size_t> ports;
+                for (std::size_t s = 0; s < board.driver_sites().size(); ++s)
+                    ports.push_back(plane.site_vcc_node(s));
+                ports.push_back(plane.vrm_vcc_node());
+                const VectorD freqs =
+                    log_space(args.num("fstart", 10e6), args.num("fstop", 5e9),
+                              static_cast<int>(args.num("points", 20)));
+                std::vector<MatrixC> sweep;
+                for (double f : freqs)
+                    sweep.push_back(z_to_s(ec.impedance(f, ports), 50.0));
+                write_touchstone_file(args.str("touchstone", ""), freqs, sweep,
+                                      50.0);
+                std::printf("wrote %zu-port Touchstone sweep (%zu points): %s\n",
+                            ports.size(), freqs.size(),
+                            args.str("touchstone", "").c_str());
+            }
+            if (args.has("fit")) {
+                // Broadband rational macromodel of Z11 at the first driver
+                // pin, synthesized as a Foster SPICE network.
+                PGSI_REQUIRE(!board.driver_sites().empty(),
+                             "--fit needs at least one driver site");
+                const std::size_t port = plane.site_vcc_node(0);
+                const VectorD freqs =
+                    lin_space(args.num("fstart", 10e6), args.num("fstop", 5e9),
+                              120);
+                VectorC h(freqs.size());
+                for (std::size_t i = 0; i < freqs.size(); ++i)
+                    h[i] = ec.impedance(freqs[i], {port})(0, 0);
+                VectorFitOptions vfo;
+                vfo.n_poles = static_cast<int>(args.num("fit", 12));
+                vfo.iterations = 25;
+                const RationalFit fit = vector_fit(freqs, h, vfo);
+                std::printf("vector fit: %d poles, max relative error %.3f%%\n",
+                            vfo.n_poles,
+                            100 * fit.max_relative_error(freqs, h));
+                if (args.has("fit-spice")) {
+                    Netlist nl;
+                    const NodeId a = nl.node("port");
+                    stamp_foster_impedance(nl, "Zpdn", a, nl.ground(), fit);
+                    std::ofstream f(args.str("fit-spice", ""));
+                    PGSI_REQUIRE(f.good(), "cannot open --fit-spice file");
+                    f << "* pgsi Foster macromodel of Z11 (vector fit)\n";
+                    f << ".SUBCKT pdn_z11 port 0\n";
+                    f.precision(9);
+                    for (const Resistor& r : nl.resistors())
+                        f << r.name << " " << nl.node_name(r.a) << " "
+                          << nl.node_name(r.b) << " " << r.r << "\n";
+                    for (const Capacitor& c : nl.capacitors())
+                        f << c.name << " " << nl.node_name(c.a) << " "
+                          << nl.node_name(c.b) << " " << c.c << "\n";
+                    for (const Inductor& l : nl.inductors()) {
+                        if (l.r != 0) {
+                            f << "R" << l.name << " " << nl.node_name(l.a)
+                              << " m" << l.name << " " << l.r << "\n";
+                            f << l.name << " m" << l.name << " "
+                              << nl.node_name(l.b) << " " << l.l << "\n";
+                        } else {
+                            f << l.name << " " << nl.node_name(l.a) << " "
+                              << nl.node_name(l.b) << " " << l.l << "\n";
+                        }
+                    }
+                    f << ".ENDS pdn_z11\n";
+                    std::printf("wrote Foster macromodel: %s\n",
+                                args.str("fit-spice", "").c_str());
+                }
+            }
+            return 0;
+        },
+        kUsage);
+}

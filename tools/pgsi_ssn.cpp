@@ -1,0 +1,98 @@
+// pgsi_ssn — run a full SSN transient on a board file.
+//
+//   pgsi_ssn <board-file> [--pitch 10m] [--interior 16] [--prune 0.02]
+//            [--dt 25p] [--tstop 8n] [--csv out.csv] [--optimize N]
+//
+// Prints per-site peak noise; with --csv, dumps the die-supply waveforms;
+// with --optimize N, greedily ranks up to N of the board's decap candidates.
+#include <cstdio>
+
+#include "io/csv.hpp"
+#include "si/board_file.hpp"
+#include "si/decap_opt.hpp"
+#include "si/ssn.hpp"
+#include "tools/cli_common.hpp"
+
+using namespace pgsi;
+
+namespace {
+constexpr const char* kUsage =
+    "pgsi_ssn <board-file> [--pitch m] [--interior n] [--prune x]\n"
+    "         [--dt s] [--tstop s] [--csv out.csv] [--optimize N]";
+}
+
+int main(int argc, char** argv) {
+    return cli::run_tool(
+        [&]() -> int {
+            const cli::Args args(argc, argv,
+                                 {"pitch", "interior", "prune", "dt", "tstop",
+                                  "csv", "optimize"});
+            PGSI_REQUIRE(args.positional().size() == 1,
+                         "expected exactly one board file");
+            const Board board = load_board_file(args.positional()[0]);
+
+            SsnModelOptions opt;
+            opt.mesh_pitch = args.num("pitch", 10e-3);
+            opt.interior_nodes =
+                static_cast<std::size_t>(args.num("interior", 16));
+            opt.prune_rel_tol = args.num("prune", 0.02);
+            auto plane = std::make_shared<PlaneModel>(board, opt);
+
+            const double dt = args.num("dt", 25e-12);
+            const double tstop = args.num("tstop", 8e-9);
+
+            const SsnModel model(plane);
+            const TransientResult r = model.simulate(dt, tstop);
+
+            std::printf("%-12s %-16s %-16s %-16s\n", "site",
+                        "gnd bounce [mV]", "Vcc droop [mV]", "plane [mV]");
+            double worst_g = 0, worst_v = 0, worst_p = 0;
+            for (std::size_t s = 0; s < board.driver_sites().size(); ++s) {
+                const double g = r.peak_excursion(model.die_gnd(s));
+                const double v = r.peak_excursion(model.die_vcc(s));
+                const double p = r.peak_excursion(model.board_vcc(s));
+                std::printf("%-12s %-16.1f %-16.1f %-16.1f\n",
+                            board.driver_sites()[s].name.c_str(), g * 1e3,
+                            v * 1e3, p * 1e3);
+                worst_g = std::max(worst_g, g);
+                worst_v = std::max(worst_v, v);
+                worst_p = std::max(worst_p, p);
+            }
+            std::printf("%-12s %-16.1f %-16.1f %-16.1f\n", "WORST",
+                        worst_g * 1e3, worst_v * 1e3, worst_p * 1e3);
+
+            if (args.has("csv")) {
+                std::vector<std::string> headers{"t_s"};
+                std::vector<VectorD> cols{r.time};
+                for (std::size_t s = 0; s < board.driver_sites().size(); ++s) {
+                    headers.push_back(board.driver_sites()[s].name + "_vcc");
+                    cols.push_back(r.waveform(model.die_vcc(s)));
+                    headers.push_back(board.driver_sites()[s].name + "_gnd");
+                    cols.push_back(r.waveform(model.die_gnd(s)));
+                }
+                write_csv_file(args.str("csv", ""), headers, cols);
+                std::printf("wrote waveforms: %s\n", args.str("csv", "").c_str());
+            }
+
+            if (args.has("optimize")) {
+                const auto budget =
+                    static_cast<std::size_t>(args.num("optimize", 4));
+                const DecapPlacementResult res =
+                    optimize_decap_placement(plane, budget, dt, tstop);
+                std::printf("\ndecap optimization (baseline plane noise "
+                            "%.1f mV):\n",
+                            res.baseline_noise * 1e3);
+                for (std::size_t i = 0; i < res.picks.size(); ++i) {
+                    const Decap& d = board.decaps()[res.picks[i].candidate];
+                    std::printf("  pick %zu: decap #%zu at (%.0f, %.0f) mm -> "
+                                "%.1f mV\n",
+                                i + 1, res.picks[i].candidate, d.pos.x * 1e3,
+                                d.pos.y * 1e3, res.picks[i].noise_after * 1e3);
+                }
+                if (res.picks.empty())
+                    std::printf("  no candidate improves the noise\n");
+            }
+            return 0;
+        },
+        kUsage);
+}

@@ -1,0 +1,65 @@
+// pgsi_tline — 2-D transmission-line parameter extraction from the command
+// line.
+//
+//   pgsi_tline --w 0.2m --h 0.15m --er 4.5 [--n 2 --gap 0.2m] [--segments 32]
+//
+// Prints per-unit-length L/C matrices and the derived line figures.
+#include <cstdio>
+
+#include "tline2d/mtl_extract.hpp"
+#include "tools/cli_common.hpp"
+
+using namespace pgsi;
+
+namespace {
+constexpr const char* kUsage =
+    "pgsi_tline --w <strip width> --h <substrate height> --er <eps_r>\n"
+    "           [--n <conductors>] [--gap <edge gap>] [--segments n]";
+}
+
+int main(int argc, char** argv) {
+    return cli::run_tool(
+        [&]() -> int {
+            const cli::Args args(argc, argv,
+                                 {"w", "h", "er", "n", "gap", "segments"});
+            const double w = args.num("w", 0.0);
+            const double h = args.num("h", 0.0);
+            const double er = args.num("er", 4.5);
+            PGSI_REQUIRE(w > 0 && h > 0, "--w and --h are required");
+            const int n = static_cast<int>(args.num("n", 1));
+            const double gap = args.num("gap", w);
+            Mtl2dOptions opt;
+            opt.segments_per_strip =
+                static_cast<int>(args.num("segments", 32));
+
+            std::vector<StripSpec> strips;
+            for (int k = 0; k < n; ++k)
+                strips.push_back(
+                    {(k - 0.5 * (n - 1)) * (w + gap), w});
+            const MtlParameters p = extract_microstrip(strips, er, h, opt);
+
+            std::printf("microstrip system: %d conductor(s), w = %.4g m, "
+                        "gap = %.4g m, h = %.4g m, er = %.2f\n\n",
+                        n, w, gap, h, er);
+            std::printf("L [nH/m]:\n");
+            for (int i = 0; i < n; ++i) {
+                for (int j = 0; j < n; ++j)
+                    std::printf(" %10.3f", p.l(i, j) * 1e9);
+                std::printf("\n");
+            }
+            std::printf("C [pF/m]:\n");
+            for (int i = 0; i < n; ++i) {
+                for (int j = 0; j < n; ++j)
+                    std::printf(" %10.3f", p.c(i, j) * 1e12);
+                std::printf("\n");
+            }
+            if (n == 1) {
+                const LineFigures f = line_figures(p);
+                std::printf("\nZ0 = %.2f ohm, eps_eff = %.3f, delay = %.3f "
+                            "ns/m\n",
+                            f.z0, f.eps_eff, f.delay_per_m * 1e9);
+            }
+            return 0;
+        },
+        kUsage);
+}
