@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cosim.dir/bench_ablation_cosim.cpp.o"
+  "CMakeFiles/bench_ablation_cosim.dir/bench_ablation_cosim.cpp.o.d"
+  "bench_ablation_cosim"
+  "bench_ablation_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quasistatic.dir/bench_ablation_quasistatic.cpp.o"
+  "CMakeFiles/bench_ablation_quasistatic.dir/bench_ablation_quasistatic.cpp.o.d"
+  "bench_ablation_quasistatic"
+  "bench_ablation_quasistatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quasistatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_testing.dir/bench_ablation_testing.cpp.o"
+  "CMakeFiles/bench_ablation_testing.dir/bench_ablation_testing.cpp.o.d"
+  "bench_ablation_testing"
+  "bench_ablation_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

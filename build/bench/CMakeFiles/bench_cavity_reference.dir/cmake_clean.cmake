@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cavity_reference.dir/bench_cavity_reference.cpp.o"
+  "CMakeFiles/bench_cavity_reference.dir/bench_cavity_reference.cpp.o.d"
+  "bench_cavity_reference"
+  "bench_cavity_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cavity_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coupled_microstrip.dir/bench_coupled_microstrip.cpp.o"
+  "CMakeFiles/bench_coupled_microstrip.dir/bench_coupled_microstrip.cpp.o.d"
+  "bench_coupled_microstrip"
+  "bench_coupled_microstrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupled_microstrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

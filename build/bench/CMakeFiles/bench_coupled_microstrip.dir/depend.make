@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coupled_microstrip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lshape_patch.dir/bench_lshape_patch.cpp.o"
+  "CMakeFiles/bench_lshape_patch.dir/bench_lshape_patch.cpp.o.d"
+  "bench_lshape_patch"
+  "bench_lshape_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lshape_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plane_sparams.dir/bench_plane_sparams.cpp.o"
+  "CMakeFiles/bench_plane_sparams.dir/bench_plane_sparams.cpp.o.d"
+  "bench_plane_sparams"
+  "bench_plane_sparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plane_sparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_plane_sparams.
+# This may be replaced when dependencies are built.

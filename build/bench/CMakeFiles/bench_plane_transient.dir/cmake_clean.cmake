@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plane_transient.dir/bench_plane_transient.cpp.o"
+  "CMakeFiles/bench_plane_transient.dir/bench_plane_transient.cpp.o.d"
+  "bench_plane_transient"
+  "bench_plane_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plane_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

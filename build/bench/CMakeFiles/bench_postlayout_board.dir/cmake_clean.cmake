@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postlayout_board.dir/bench_postlayout_board.cpp.o"
+  "CMakeFiles/bench_postlayout_board.dir/bench_postlayout_board.cpp.o.d"
+  "bench_postlayout_board"
+  "bench_postlayout_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postlayout_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

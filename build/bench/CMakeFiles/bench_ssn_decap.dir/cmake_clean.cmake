@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssn_decap.dir/bench_ssn_decap.cpp.o"
+  "CMakeFiles/bench_ssn_decap.dir/bench_ssn_decap.cpp.o.d"
+  "bench_ssn_decap"
+  "bench_ssn_decap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssn_decap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

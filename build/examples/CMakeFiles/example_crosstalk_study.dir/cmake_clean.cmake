@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crosstalk_study.dir/crosstalk_study.cpp.o"
+  "CMakeFiles/example_crosstalk_study.dir/crosstalk_study.cpp.o.d"
+  "example_crosstalk_study"
+  "example_crosstalk_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crosstalk_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

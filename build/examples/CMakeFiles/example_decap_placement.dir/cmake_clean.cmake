@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_decap_placement.dir/decap_placement.cpp.o"
+  "CMakeFiles/example_decap_placement.dir/decap_placement.cpp.o.d"
+  "example_decap_placement"
+  "example_decap_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_decap_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

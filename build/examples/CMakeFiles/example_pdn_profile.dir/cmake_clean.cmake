@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pdn_profile.dir/pdn_profile.cpp.o"
+  "CMakeFiles/example_pdn_profile.dir/pdn_profile.cpp.o.d"
+  "example_pdn_profile"
+  "example_pdn_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pdn_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

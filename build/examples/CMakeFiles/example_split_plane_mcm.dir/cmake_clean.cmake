@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_split_plane_mcm.dir/split_plane_mcm.cpp.o"
+  "CMakeFiles/example_split_plane_mcm.dir/split_plane_mcm.cpp.o.d"
+  "example_split_plane_mcm"
+  "example_split_plane_mcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_split_plane_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_split_plane_mcm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/CMakeFiles/pgsi.dir/circuit/ac.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/ac.cpp.o.d"
+  "/root/repo/src/circuit/dcop.cpp" "src/CMakeFiles/pgsi.dir/circuit/dcop.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/dcop.cpp.o.d"
+  "/root/repo/src/circuit/lossy_line.cpp" "src/CMakeFiles/pgsi.dir/circuit/lossy_line.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/lossy_line.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/pgsi.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/pgsi.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/pgsi.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/pgsi.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/circuit/sparams.cpp" "src/CMakeFiles/pgsi.dir/circuit/sparams.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/sparams.cpp.o.d"
+  "/root/repo/src/circuit/tline.cpp" "src/CMakeFiles/pgsi.dir/circuit/tline.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/tline.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/pgsi.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/circuit/transient.cpp.o.d"
+  "/root/repo/src/em/bem_plane.cpp" "src/CMakeFiles/pgsi.dir/em/bem_plane.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/bem_plane.cpp.o.d"
+  "/root/repo/src/em/cavity_model.cpp" "src/CMakeFiles/pgsi.dir/em/cavity_model.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/cavity_model.cpp.o.d"
+  "/root/repo/src/em/greens.cpp" "src/CMakeFiles/pgsi.dir/em/greens.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/greens.cpp.o.d"
+  "/root/repo/src/em/rectint.cpp" "src/CMakeFiles/pgsi.dir/em/rectint.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/rectint.cpp.o.d"
+  "/root/repo/src/em/solver.cpp" "src/CMakeFiles/pgsi.dir/em/solver.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/solver.cpp.o.d"
+  "/root/repo/src/em/surface_impedance.cpp" "src/CMakeFiles/pgsi.dir/em/surface_impedance.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/surface_impedance.cpp.o.d"
+  "/root/repo/src/em/via.cpp" "src/CMakeFiles/pgsi.dir/em/via.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/em/via.cpp.o.d"
+  "/root/repo/src/extract/equivalent_circuit.cpp" "src/CMakeFiles/pgsi.dir/extract/equivalent_circuit.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/extract/equivalent_circuit.cpp.o.d"
+  "/root/repo/src/extract/peec_stamp.cpp" "src/CMakeFiles/pgsi.dir/extract/peec_stamp.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/extract/peec_stamp.cpp.o.d"
+  "/root/repo/src/extract/reduction.cpp" "src/CMakeFiles/pgsi.dir/extract/reduction.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/extract/reduction.cpp.o.d"
+  "/root/repo/src/extract/spice_export.cpp" "src/CMakeFiles/pgsi.dir/extract/spice_export.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/extract/spice_export.cpp.o.d"
+  "/root/repo/src/extract/vector_fit.cpp" "src/CMakeFiles/pgsi.dir/extract/vector_fit.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/extract/vector_fit.cpp.o.d"
+  "/root/repo/src/fdtd/plane_fdtd.cpp" "src/CMakeFiles/pgsi.dir/fdtd/plane_fdtd.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/fdtd/plane_fdtd.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/CMakeFiles/pgsi.dir/geometry/polygon.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/geometry/polygon.cpp.o.d"
+  "/root/repo/src/geometry/rectmesh.cpp" "src/CMakeFiles/pgsi.dir/geometry/rectmesh.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/geometry/rectmesh.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/pgsi.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/touchstone.cpp" "src/CMakeFiles/pgsi.dir/io/touchstone.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/io/touchstone.cpp.o.d"
+  "/root/repo/src/numeric/cholesky.cpp" "src/CMakeFiles/pgsi.dir/numeric/cholesky.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/cholesky.cpp.o.d"
+  "/root/repo/src/numeric/eigen.cpp" "src/CMakeFiles/pgsi.dir/numeric/eigen.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/eigen.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/CMakeFiles/pgsi.dir/numeric/interp.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/interp.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "src/CMakeFiles/pgsi.dir/numeric/lu.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/lu.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/CMakeFiles/pgsi.dir/numeric/matrix.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/matrix.cpp.o.d"
+  "/root/repo/src/numeric/quadrature.cpp" "src/CMakeFiles/pgsi.dir/numeric/quadrature.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/numeric/quadrature.cpp.o.d"
+  "/root/repo/src/si/board.cpp" "src/CMakeFiles/pgsi.dir/si/board.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/board.cpp.o.d"
+  "/root/repo/src/si/board_file.cpp" "src/CMakeFiles/pgsi.dir/si/board_file.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/board_file.cpp.o.d"
+  "/root/repo/src/si/cosim.cpp" "src/CMakeFiles/pgsi.dir/si/cosim.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/cosim.cpp.o.d"
+  "/root/repo/src/si/decap_opt.cpp" "src/CMakeFiles/pgsi.dir/si/decap_opt.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/decap_opt.cpp.o.d"
+  "/root/repo/src/si/package.cpp" "src/CMakeFiles/pgsi.dir/si/package.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/package.cpp.o.d"
+  "/root/repo/src/si/ssn.cpp" "src/CMakeFiles/pgsi.dir/si/ssn.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/si/ssn.cpp.o.d"
+  "/root/repo/src/tline2d/mtl_extract.cpp" "src/CMakeFiles/pgsi.dir/tline2d/mtl_extract.cpp.o" "gcc" "src/CMakeFiles/pgsi.dir/tline2d/mtl_extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac.dir/test_ac.cpp.o"
+  "CMakeFiles/test_ac.dir/test_ac.cpp.o.d"
+  "test_ac"
+  "test_ac.pdb"
+  "test_ac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

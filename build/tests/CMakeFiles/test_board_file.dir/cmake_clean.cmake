@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board_file.dir/test_board_file.cpp.o"
+  "CMakeFiles/test_board_file.dir/test_board_file.cpp.o.d"
+  "test_board_file"
+  "test_board_file.pdb"
+  "test_board_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

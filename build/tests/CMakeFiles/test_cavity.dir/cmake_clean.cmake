@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cavity.dir/test_cavity.cpp.o"
+  "CMakeFiles/test_cavity.dir/test_cavity.cpp.o.d"
+  "test_cavity"
+  "test_cavity.pdb"
+  "test_cavity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cavity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky_eigen.dir/test_cholesky_eigen.cpp.o"
+  "CMakeFiles/test_cholesky_eigen.dir/test_cholesky_eigen.cpp.o.d"
+  "test_cholesky_eigen"
+  "test_cholesky_eigen.pdb"
+  "test_cholesky_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

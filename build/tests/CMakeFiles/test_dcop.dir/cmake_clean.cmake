@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcop.dir/test_dcop.cpp.o"
+  "CMakeFiles/test_dcop.dir/test_dcop.cpp.o.d"
+  "test_dcop"
+  "test_dcop.pdb"
+  "test_dcop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

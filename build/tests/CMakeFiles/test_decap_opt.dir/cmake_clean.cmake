@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decap_opt.dir/test_decap_opt.cpp.o"
+  "CMakeFiles/test_decap_opt.dir/test_decap_opt.cpp.o.d"
+  "test_decap_opt"
+  "test_decap_opt.pdb"
+  "test_decap_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decap_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

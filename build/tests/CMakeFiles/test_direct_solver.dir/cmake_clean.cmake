@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_solver.dir/test_direct_solver.cpp.o"
+  "CMakeFiles/test_direct_solver.dir/test_direct_solver.cpp.o.d"
+  "test_direct_solver"
+  "test_direct_solver.pdb"
+  "test_direct_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

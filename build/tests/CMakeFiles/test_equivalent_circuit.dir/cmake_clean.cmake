@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalent_circuit.dir/test_equivalent_circuit.cpp.o"
+  "CMakeFiles/test_equivalent_circuit.dir/test_equivalent_circuit.cpp.o.d"
+  "test_equivalent_circuit"
+  "test_equivalent_circuit.pdb"
+  "test_equivalent_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalent_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

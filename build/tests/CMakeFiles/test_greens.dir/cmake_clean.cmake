@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greens.dir/test_greens.cpp.o"
+  "CMakeFiles/test_greens.dir/test_greens.cpp.o.d"
+  "test_greens"
+  "test_greens.pdb"
+  "test_greens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrator_order.dir/test_integrator_order.cpp.o"
+  "CMakeFiles/test_integrator_order.dir/test_integrator_order.cpp.o.d"
+  "test_integrator_order"
+  "test_integrator_order.pdb"
+  "test_integrator_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrator_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

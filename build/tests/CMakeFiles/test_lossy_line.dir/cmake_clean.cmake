@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossy_line.dir/test_lossy_line.cpp.o"
+  "CMakeFiles/test_lossy_line.dir/test_lossy_line.cpp.o.d"
+  "test_lossy_line"
+  "test_lossy_line.pdb"
+  "test_lossy_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossy_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_package_board.dir/test_package_board.cpp.o"
+  "CMakeFiles/test_package_board.dir/test_package_board.cpp.o.d"
+  "test_package_board"
+  "test_package_board.pdb"
+  "test_package_board[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_package_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passivity.dir/test_passivity.cpp.o"
+  "CMakeFiles/test_passivity.dir/test_passivity.cpp.o.d"
+  "test_passivity"
+  "test_passivity.pdb"
+  "test_passivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peec.dir/test_peec.cpp.o"
+  "CMakeFiles/test_peec.dir/test_peec.cpp.o.d"
+  "test_peec"
+  "test_peec.pdb"
+  "test_peec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

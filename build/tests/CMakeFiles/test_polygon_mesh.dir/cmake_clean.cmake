@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polygon_mesh.dir/test_polygon_mesh.cpp.o"
+  "CMakeFiles/test_polygon_mesh.dir/test_polygon_mesh.cpp.o.d"
+  "test_polygon_mesh"
+  "test_polygon_mesh.pdb"
+  "test_polygon_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polygon_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

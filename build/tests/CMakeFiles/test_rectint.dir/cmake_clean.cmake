@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rectint.dir/test_rectint.cpp.o"
+  "CMakeFiles/test_rectint.dir/test_rectint.cpp.o.d"
+  "test_rectint"
+  "test_rectint.pdb"
+  "test_rectint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rectint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparam_block.dir/test_sparam_block.cpp.o"
+  "CMakeFiles/test_sparam_block.dir/test_sparam_block.cpp.o.d"
+  "test_sparam_block"
+  "test_sparam_block.pdb"
+  "test_sparam_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparam_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparams.dir/test_sparams.cpp.o"
+  "CMakeFiles/test_sparams.dir/test_sparams.cpp.o.d"
+  "test_sparams"
+  "test_sparams.pdb"
+  "test_sparams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_export.dir/test_spice_export.cpp.o"
+  "CMakeFiles/test_spice_export.dir/test_spice_export.cpp.o.d"
+  "test_spice_export"
+  "test_spice_export.pdb"
+  "test_spice_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssn.dir/test_ssn.cpp.o"
+  "CMakeFiles/test_ssn.dir/test_ssn.cpp.o.d"
+  "test_ssn"
+  "test_ssn.pdb"
+  "test_ssn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

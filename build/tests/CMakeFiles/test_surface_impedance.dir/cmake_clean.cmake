@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_impedance.dir/test_surface_impedance.cpp.o"
+  "CMakeFiles/test_surface_impedance.dir/test_surface_impedance.cpp.o.d"
+  "test_surface_impedance"
+  "test_surface_impedance.pdb"
+  "test_surface_impedance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tline.dir/test_tline.cpp.o"
+  "CMakeFiles/test_tline.dir/test_tline.cpp.o.d"
+  "test_tline"
+  "test_tline.pdb"
+  "test_tline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

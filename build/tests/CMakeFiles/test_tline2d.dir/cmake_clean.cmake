@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tline2d.dir/test_tline2d.cpp.o"
+  "CMakeFiles/test_tline2d.dir/test_tline2d.cpp.o.d"
+  "test_tline2d"
+  "test_tline2d.pdb"
+  "test_tline2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tline2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_fit.dir/test_vector_fit.cpp.o"
+  "CMakeFiles/test_vector_fit.dir/test_vector_fit.cpp.o.d"
+  "test_vector_fit"
+  "test_vector_fit.pdb"
+  "test_vector_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

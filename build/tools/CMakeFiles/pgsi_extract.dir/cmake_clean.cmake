@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsi_extract.dir/pgsi_extract.cpp.o"
+  "CMakeFiles/pgsi_extract.dir/pgsi_extract.cpp.o.d"
+  "pgsi_extract"
+  "pgsi_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsi_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

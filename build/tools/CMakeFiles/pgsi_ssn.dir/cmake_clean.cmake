@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsi_ssn.dir/pgsi_ssn.cpp.o"
+  "CMakeFiles/pgsi_ssn.dir/pgsi_ssn.cpp.o.d"
+  "pgsi_ssn"
+  "pgsi_ssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsi_ssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsi_tline.dir/pgsi_tline.cpp.o"
+  "CMakeFiles/pgsi_tline.dir/pgsi_tline.cpp.o.d"
+  "pgsi_tline"
+  "pgsi_tline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsi_tline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
