@@ -31,8 +31,9 @@ void print_experiment() {
                 "claim) ===\n");
     std::printf("100x80 mm plane, two corner pins; extracted port values and "
                 "wall time vs mesh density\n\n");
-    std::printf("%-8s %-8s %-12s %-14s %-14s %-10s\n", "mesh", "cells",
-                "C_tot [nF]", "L_pin [nH]", "Z(100MHz) [mohm]", "time [s]");
+    std::printf("%-8s %-8s %-12s %-14s %-16s %-10s %-24s\n", "mesh", "cells",
+                "C_tot [nF]", "L_pin [nH]", "Z(100MHz) [mohm]", "time [s]",
+                "fill/invert/gamma [s]");
     for (int n : {6, 10, 14, 18, 24}) {
         const auto t0 = std::chrono::steady_clock::now();
         const PlaneBem bem = make_plane(n);
@@ -54,10 +55,14 @@ void print_experiment() {
         const auto t1 = std::chrono::steady_clock::now();
         const double secs =
             std::chrono::duration<double>(t1 - t0).count();
-        std::printf("%2dx%-5d %-8zu %-12.3f %-14.3f %-14.1f %-10.2f\n", n,
-                    (n * 8) / 10, bem.node_count(),
+        const BemAssemblyStats& st = bem.stats();
+        std::printf("%2dx%-5d %-8zu %-12.3f %-14.3f %-16.1f %-10.2f "
+                    "%.3f/%.3f/%.3f\n",
+                    n, (n * 8) / 10, bem.node_count(),
                     ec.total_reference_capacitance() * 1e9, lpin * 1e9,
-                    z100 * 1e3, secs);
+                    z100 * 1e3, secs,
+                    st.potential_seconds + st.inductance_seconds,
+                    st.capacitance_seconds, st.gamma_seconds);
     }
     std::printf("\nexpected shape: port quantities settle within a few %% by "
                 "moderate densities while cost grows ~N^3 (dense "
@@ -67,13 +72,35 @@ void print_experiment() {
 
 void BM_full_pipeline(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
+    // Per-stage wall time accumulated across iterations; exported as rate
+    // counters so BENCH_*.json trajectories resolve which stage moved.
+    double fill_s = 0, invert_s = 0, gamma_s = 0, extract_s = 0;
     for (auto _ : state) {
         const PlaneBem bem = make_plane(n);
+        // Force the lazy assembly stages up front so the extract window below
+        // times pure Kron reduction, not hidden fills.
+        bem.maxwell_capacitance();
+        bem.gamma();
         const CircuitExtractor ex(bem);
+        const auto t0 = std::chrono::steady_clock::now();
         const EquivalentCircuit ec = ex.extract(ex.select_nodes(
             {bem.mesh().nearest_node({0.005, 0.005}, 0)}, 12));
+        const auto t1 = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(ec.branches.size());
+        const BemAssemblyStats& st = bem.stats();
+        fill_s += st.potential_seconds + st.inductance_seconds;
+        invert_s += st.capacitance_seconds;
+        gamma_s += st.gamma_seconds;
+        extract_s += std::chrono::duration<double>(t1 - t0).count();
     }
+    state.counters["fill_s"] =
+        benchmark::Counter(fill_s, benchmark::Counter::kAvgIterations);
+    state.counters["invert_s"] =
+        benchmark::Counter(invert_s, benchmark::Counter::kAvgIterations);
+    state.counters["gamma_s"] =
+        benchmark::Counter(gamma_s, benchmark::Counter::kAvgIterations);
+    state.counters["extract_s"] =
+        benchmark::Counter(extract_s, benchmark::Counter::kAvgIterations);
     state.SetComplexityN(n * n);
 }
 BENCHMARK(BM_full_pipeline)->Arg(6)->Arg(10)->Arg(14)->Arg(18)

@@ -7,6 +7,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "numeric/lu.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
 
@@ -70,6 +71,7 @@ MatrixC sparam_block_admittance(const SParamBlock& blk, double freq) {
 
 AcSolution ac_analyze(const Netlist& nl, double freq_hz) {
     PGSI_REQUIRE(freq_hz > 0, "ac_analyze: frequency must be positive");
+    PGSI_TRACE_SCOPE("ac.analyze");
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
     const MnaLayout lay(nl);
@@ -144,7 +146,14 @@ AcSolution ac_analyze(const Netlist& nl, double freq_hz) {
                              sparam_block_admittance(blk, freq_hz));
     }
 
-    const VectorC x = Lu<Complex>(std::move(m)).solve(b);
+    VectorC x;
+    try {
+        x = Lu<Complex>(std::move(m)).solve(b);
+    } catch (Error& e) {
+        e.with_context("while solving the AC MNA system at f = " +
+                       std::to_string(freq_hz) + " Hz");
+        throw;
+    }
 
     AcSolution sol;
     sol.freq_hz = freq_hz;
@@ -157,6 +166,7 @@ AcSolution ac_analyze(const Netlist& nl, double freq_hz) {
 }
 
 std::vector<AcSolution> ac_sweep(const Netlist& nl, const VectorD& freqs_hz) {
+    PGSI_TRACE_SCOPE("ac.sweep");
     std::vector<AcSolution> out;
     out.reserve(freqs_hz.size());
     for (double f : freqs_hz) out.push_back(ac_analyze(nl, f));

@@ -1,9 +1,12 @@
 #include "circuit/transient.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
 
@@ -63,6 +66,7 @@ struct TransientStepper::Impl {
     std::size_t step_count = 0;
     VectorD x;           // last MNA solution
     VectorD node_v_now;  // indexed by NodeId
+    TransientStats stats;
 
     Impl(const Netlist& netlist, double dt_in, Integrator method_in)
         : nl(netlist), dt(dt_in), method(method_in), lay(netlist) {
@@ -96,6 +100,7 @@ struct TransientStepper::Impl {
     }
 
     void initialize_dc() {
+        PGSI_TRACE_SCOPE("transient.dcop");
         const DcSolution dc = dc_operating_point(nl);
         node_v_now = dc.node_voltage;
         for (std::size_t k = 0; k < nl.table_conductances().size(); ++k) {
@@ -208,6 +213,8 @@ struct TransientStepper::Impl {
         table_g_last = table_g;
         if (lu_valid && m == lu_method && !drivers_moved && !tables_moved)
             return;
+        PGSI_TRACE_SCOPE("transient.factor");
+        ++stats.lu_factorizations;
         MatrixD mat = base_matrix(m);
         for (std::size_t d = 0; d < nl.drivers().size(); ++d) {
             const DriverInstance& dr = nl.drivers()[d];
@@ -229,9 +236,45 @@ struct TransientStepper::Impl {
     }
 
     void advance() {
+        const auto wall0 = std::chrono::steady_clock::now();
         ++step_count;
         const double t = step_count * dt;
         const Integrator m = (step_count == 1) ? Integrator::BackwardEuler : method;
+        if (!try_step(t, m)) {
+            // Newton failure on a trapezoidal step: reject it and redo the
+            // step with the maximally damped backward Euler companion before
+            // giving up (the damped model is far less prone to the
+            // oscillation that stalls the relaxation).
+            bool recovered = false;
+            if (m == Integrator::Trapezoidal) {
+                ++stats.step_rejections;
+                static obs::Counter& rejections =
+                    obs::counter("transient.step_rejections");
+                ++rejections;
+                recovered = try_step(t, Integrator::BackwardEuler);
+            }
+            if (!recovered) {
+                NumericalError err(
+                    "transient: Newton iteration did not converge at t = " +
+                    std::to_string(t));
+                err.with_context("while advancing the transient to t = " +
+                                 std::to_string(t) + " s");
+                const std::string span = obs::current_span_path();
+                if (!span.empty()) err.with_context("in span " + span);
+                throw err;
+            }
+        }
+        ++stats.steps;
+        stats.wall_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall0)
+                .count();
+    }
+
+    // One attempt at the step ending at time t with integrator m. Returns
+    // false when the Newton relaxation over the table elements does not
+    // converge; stepper history is mutated only on success.
+    bool try_step(double t, Integrator m) {
         const double s = companion_scale(m);
         const bool trap = m == Integrator::Trapezoidal;
 
@@ -294,7 +337,9 @@ struct TransientStepper::Impl {
             }
             refresh_factor(m, t, table_g);
             x = lu->solve(rhs_nl);
+            ++stats.lu_solves;
             if (ntab == 0) break;
+            ++stats.newton_iterations;
             double worst = 0;
             for (std::size_t k = 0; k < ntab; ++k) {
                 const TableConductance& tc = nl.table_conductances()[k];
@@ -303,10 +348,7 @@ struct TransientStepper::Impl {
                 table_v[k] += 0.8 * (v - table_v[k]);
             }
             if (worst < 1e-9) break;
-            if (iter >= kMaxNewton)
-                throw NumericalError(
-                    "transient: Newton iteration did not converge at t = " +
-                    std::to_string(t));
+            if (iter >= kMaxNewton) return false;
         }
 
         for (std::size_t k = 0; k < caps.size(); ++k) {
@@ -342,6 +384,7 @@ struct TransientStepper::Impl {
         }
 
         for (NodeId n = 1; n < nl.node_count(); ++n) node_v_now[n] = x[lay.node(n)];
+        return true;
     }
 };
 
@@ -369,9 +412,12 @@ double TransientStepper::inductor_current(std::size_t k) const {
     return impl_->x[impl_->lay.inductor_current(k)];
 }
 
+const TransientStats& TransientStepper::stats() const { return impl_->stats; }
+
 TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt) {
     PGSI_REQUIRE(opt.dt > 0, "transient: dt must be positive");
     PGSI_REQUIRE(opt.tstop > opt.dt, "transient: tstop must exceed dt");
+    PGSI_TRACE_SCOPE("transient.run");
 
     TransientStepper stepper(nl, opt.dt, opt.method);
 
@@ -395,6 +441,7 @@ TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt
         stepper.step();
         record();
     }
+    res.stats = stepper.stats();
     return res;
 }
 

@@ -37,11 +37,22 @@ struct TransientOptions {
     std::vector<NodeId> probes;
 };
 
+/// Solver telemetry of a transient run / stepper.
+struct TransientStats {
+    std::size_t steps = 0;             ///< time steps advanced
+    std::size_t newton_iterations = 0; ///< Newton passes over table elements
+    std::size_t step_rejections = 0;   ///< trapezoidal steps redone with BE
+    std::size_t lu_factorizations = 0; ///< MNA (re)factorizations
+    std::size_t lu_solves = 0;         ///< back-substitutions
+    double wall_seconds = 0;           ///< wall time spent inside step()
+};
+
 /// Recorded waveforms of a transient run.
 struct TransientResult {
     VectorD time;                 ///< sample times (t = 0 is the DC point)
     std::vector<NodeId> probes;   ///< recorded nodes, in recording order
     std::vector<VectorD> samples; ///< samples[s][k] = V(probes[k]) at time[s]
+    TransientStats stats;         ///< solver telemetry of the run
 
     /// Waveform of one recorded node across all samples.
     VectorD waveform(NodeId node) const;
@@ -78,6 +89,9 @@ public:
 
     /// Branch current of inductor k at the current time.
     double inductor_current(std::size_t k) const;
+
+    /// Telemetry accumulated since construction.
+    const TransientStats& stats() const;
 
 private:
     struct Impl;

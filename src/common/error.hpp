@@ -9,13 +9,53 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace pgsi {
 
 /// Base class for all errors thrown by the pgsi library.
+///
+/// Errors carry an optional context chain: layers that catch an escaping
+/// error may annotate it with what they were doing and rethrow, so a Newton
+/// failure deep in the transient engine surfaces as
+///
+///     transient: Newton iteration did not converge ...
+///       while advancing the transient to t = 1.2e-09 s
+///       in span ssn.simulate/transient.run
+///
+/// Catch by non-const reference, call with_context(), then `throw;` — the
+/// in-flight exception object is annotated in place and its dynamic type is
+/// preserved.
 class Error : public std::runtime_error {
 public:
-    explicit Error(const std::string& what) : std::runtime_error(what) {}
+    explicit Error(const std::string& what)
+        : std::runtime_error(what), message_(what) {}
+
+    /// Append one context line ("while factoring MNA at t=1.2ns").
+    Error& with_context(std::string ctx) {
+        context_.push_back(std::move(ctx));
+        formatted_ = message_;
+        for (const std::string& c : context_) {
+            formatted_ += "\n  ";
+            formatted_ += c;
+        }
+        return *this;
+    }
+
+    /// Context lines in the order they were attached (innermost first).
+    const std::vector<std::string>& context() const noexcept { return context_; }
+
+    /// Original message without the context chain.
+    const std::string& message() const noexcept { return message_; }
+
+    const char* what() const noexcept override {
+        return context_.empty() ? std::runtime_error::what() : formatted_.c_str();
+    }
+
+private:
+    std::string message_;
+    std::vector<std::string> context_;
+    std::string formatted_;
 };
 
 /// Thrown when a caller violates a documented precondition.

@@ -1,5 +1,6 @@
 #include "em/bem_plane.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -7,8 +8,29 @@
 #include "numeric/cholesky.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/quadrature.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
+
+namespace {
+
+// Accumulate elapsed wall time into a stats field on scope exit.
+class StageTimer {
+public:
+    explicit StageTimer(double& acc)
+        : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+    ~StageTimer() {
+        acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0_)
+                    .count();
+    }
+
+private:
+    double& acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
 
 PlaneBem::PlaneBem(RectMesh mesh, Greens greens, BemOptions options)
     : mesh_(std::move(mesh)), greens_(std::move(greens)), options_(options) {
@@ -67,6 +89,8 @@ double cell_average(const Rect& r, int n, F&& f) {
 } // namespace
 
 void PlaneBem::assemble_potential() const {
+    PGSI_TRACE_SCOPE("bem.fill.potential");
+    StageTimer timer(stats_.potential_seconds);
     const auto& nodes = mesh_.nodes();
     const std::size_t n = nodes.size();
     MatrixD p(n, n);
@@ -104,6 +128,8 @@ const MatrixD& PlaneBem::potential_matrix() const {
 const MatrixD& PlaneBem::maxwell_capacitance() const {
     if (!cmax_) {
         const MatrixD& p = potential_matrix();
+        PGSI_TRACE_SCOPE("bem.invert.potential");
+        StageTimer timer(stats_.capacitance_seconds);
         try {
             cmax_ = Cholesky(p).inverse();
         } catch (const NumericalError&) {
@@ -116,6 +142,8 @@ const MatrixD& PlaneBem::maxwell_capacitance() const {
 }
 
 void PlaneBem::assemble_inductance() const {
+    PGSI_TRACE_SCOPE("bem.fill.inductance");
+    StageTimer timer(stats_.inductance_seconds);
     const auto& branches = mesh_.branches();
     const std::size_t m = branches.size();
     MatrixD l(m, m);
@@ -171,6 +199,8 @@ MatrixD PlaneBem::incidence_dense() const {
 const MatrixD& PlaneBem::gamma() const {
     if (!gamma_) {
         const MatrixD& l = inductance_matrix();
+        PGSI_TRACE_SCOPE("bem.gamma");
+        StageTimer timer(stats_.gamma_seconds);
         const MatrixD a = incidence_dense();
         // X = L⁻¹ P, then Γ = Pᵀ X accumulated through the sparse incidence.
         MatrixD x;

@@ -45,6 +45,15 @@ struct BemOptions {
     int l_quad_order = 4;
 };
 
+/// Wall-time telemetry of the lazy BEM assembly steps (seconds; zero until
+/// the corresponding matrix is first requested).
+struct BemAssemblyStats {
+    double potential_seconds = 0;    ///< Ppot fill
+    double inductance_seconds = 0;   ///< L fill
+    double capacitance_seconds = 0;  ///< C = Ppot⁻¹ factorization/inverse
+    double gamma_seconds = 0;        ///< Γ = Pᵀ L⁻¹ P
+};
+
 /// Assembled BEM operator for one meshed plane structure. Matrices are
 /// assembled lazily and cached; all are frequency independent under the
 /// quasi-static approximation of §4.1.
@@ -84,6 +93,9 @@ public:
     /// sheet (nonzero sheet resistance on every meshed shape).
     const MatrixD& dc_conductance() const;
 
+    /// Per-stage assembly wall times observed so far.
+    const BemAssemblyStats& stats() const { return stats_; }
+
 private:
     RectMesh mesh_;
     Greens greens_;
@@ -95,6 +107,7 @@ private:
     mutable std::optional<VectorD> rbranch_;
     mutable std::optional<MatrixD> gamma_;
     mutable std::optional<MatrixD> gdc_;
+    mutable BemAssemblyStats stats_;
 
     void assemble_potential() const;
     void assemble_inductance() const;

@@ -1,16 +1,31 @@
 #include "em/solver.hpp"
 
+#include <chrono>
+#include <memory>
+
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "numeric/lu.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs)
     : bem_(bem), zs_(zs) {}
 
 MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     PGSI_REQUIRE(freq_hz > 0, "DirectSolver: frequency must be positive");
+    PGSI_TRACE_SCOPE("em.solve.nodal_admittance");
+    ++stats_.frequencies;
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
 
@@ -21,15 +36,29 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     const std::size_t n = bem_.node_count();
 
     // Branch impedance matrix Zb = Zs(ω)·len/width + jωL.
+    auto t0 = std::chrono::steady_clock::now();
     MatrixC zb(m, m);
     for (std::size_t a = 0; a < m; ++a)
         for (std::size_t b = 0; b < m; ++b) zb(a, b) = jw * l(a, b);
     const Complex zs = zs_.at(omega);
     for (std::size_t b = 0; b < m; ++b)
         zb(b, b) += zs * branches[b].length() / branches[b].width();
+    stats_.fill_seconds += seconds_since(t0);
 
     // X = Zb⁻¹ P, built column-by-column through the sparse incidence.
-    const Lu<Complex> lu(std::move(zb));
+    t0 = std::chrono::steady_clock::now();
+    std::unique_ptr<const Lu<Complex>> lu;
+    try {
+        lu = std::make_unique<const Lu<Complex>>(std::move(zb));
+    } catch (Error& e) {
+        e.with_context("while factoring the branch impedance at f = " +
+                       std::to_string(freq_hz) + " Hz");
+        throw;
+    }
+    stats_.factor_seconds += seconds_since(t0);
+    ++stats_.factorizations;
+
+    t0 = std::chrono::steady_clock::now();
     MatrixC y(n, n);
     VectorC col(m);
     for (std::size_t j = 0; j < n; ++j) {
@@ -39,7 +68,7 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
             if (branches[b].n2 == j) v -= 1.0;
             col[b] = Complex(v, 0.0);
         }
-        const VectorC x = lu.solve(col);
+        const VectorC x = lu->solve(col);
         // Y(:,j) += Pᵀ x
         for (std::size_t b = 0; b < m; ++b) {
             y(branches[b].n1, j) += x[b];
@@ -48,19 +77,27 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     }
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < n; ++j) y(i, j) += jw * c(i, j);
+    stats_.solve_seconds += seconds_since(t0);
+    stats_.solves += n;
     return y;
 }
 
 MatrixC DirectSolver::port_impedance(
     double freq_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_REQUIRE(!port_nodes.empty(), "DirectSolver: no port nodes given");
+    PGSI_TRACE_SCOPE("em.solve.port_impedance");
     const MatrixC y = nodal_admittance(freq_hz);
+    const auto t0 = std::chrono::steady_clock::now();
     const MatrixC zfull = Lu<Complex>(y).inverse();
+    stats_.factor_seconds += seconds_since(t0);
+    ++stats_.factorizations;
+    stats_.solves += y.rows();
     return zfull.submatrix(port_nodes, port_nodes);
 }
 
 std::vector<MatrixC> DirectSolver::sweep_impedance(
     const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
+    PGSI_TRACE_SCOPE("em.solve.sweep");
     std::vector<MatrixC> out;
     out.reserve(freqs_hz.size());
     for (double f : freqs_hz) out.push_back(port_impedance(f, port_nodes));

@@ -14,6 +14,17 @@
 
 namespace pgsi {
 
+/// Cumulative telemetry of a DirectSolver across every frequency point it
+/// has processed (fill/factor/solve wall seconds plus work counts).
+struct DirectSolverStats {
+    std::size_t frequencies = 0;      ///< nodal_admittance evaluations
+    std::size_t factorizations = 0;   ///< dense LU factorizations
+    std::size_t solves = 0;           ///< triangular solves (one per column)
+    double fill_seconds = 0;          ///< branch-impedance matrix fill
+    double factor_seconds = 0;        ///< LU factorization
+    double solve_seconds = 0;         ///< back-substitution + Y accumulation
+};
+
 /// Direct sweep solver over an assembled PlaneBem.
 class DirectSolver {
 public:
@@ -34,9 +45,13 @@ public:
     std::vector<MatrixC> sweep_impedance(
         const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const;
 
+    /// Telemetry accumulated over every call on this solver so far.
+    const DirectSolverStats& stats() const { return stats_; }
+
 private:
     const PlaneBem& bem_;
     SurfaceImpedance zs_;
+    mutable DirectSolverStats stats_;
 };
 
 } // namespace pgsi

@@ -1,9 +1,12 @@
 #include "fdtd/plane_fdtd.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
 
@@ -33,6 +36,8 @@ std::size_t PlaneFdtd::add_port(Point2 p, double r, Source src) {
 
 PlaneFdtdResult PlaneFdtd::run(double tstop) {
     PGSI_REQUIRE(tstop > dt_, "PlaneFdtd: tstop must exceed dt");
+    PGSI_TRACE_SCOPE("fdtd.run");
+    const auto wall0 = std::chrono::steady_clock::now();
     const std::size_t nx = opt_.nx, ny = opt_.ny;
     // V at cell centers; Jx on vertical edges between x-neighbours
     // (nx-1)*ny; Jy on horizontal edges nx*(ny-1). Edge currents at the plane
@@ -111,6 +116,21 @@ PlaneFdtdResult PlaneFdtd::run(double tstop) {
         for (std::size_t p = 0; p < ports_.size(); ++p)
             res.port_voltage[p].push_back(v[vid(ports_[p].ix, ports_[p].iy)]);
     }
+    res.stats.steps = steps;
+    res.stats.cells = nx * ny;
+    res.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    if (res.stats.wall_seconds > 0) {
+        res.stats.steps_per_second =
+            static_cast<double>(steps) / res.stats.wall_seconds;
+        res.stats.cell_updates_per_second =
+            res.stats.steps_per_second * static_cast<double>(res.stats.cells);
+    }
+    static obs::Counter& step_counter = obs::counter("fdtd.steps");
+    step_counter.add(steps);
+    obs::gauge("fdtd.cell_updates_per_second")
+        .set(res.stats.cell_updates_per_second);
     return res;
 }
 

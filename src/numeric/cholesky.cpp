@@ -2,11 +2,20 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace pgsi {
 
 Cholesky::Cholesky(const MatrixD& a) : g_(a.rows(), a.cols()) {
     PGSI_REQUIRE(a.square(), "Cholesky requires a square matrix");
     const std::size_t n = a.rows();
+    {
+        static obs::Counter& factorizations =
+            obs::counter("cholesky.factorizations");
+        static obs::Histogram& sizes = obs::histogram("cholesky.n");
+        ++factorizations;
+        sizes.record(static_cast<double>(n));
+    }
     for (std::size_t j = 0; j < n; ++j) {
         double d = a(j, j);
         for (std::size_t k = 0; k < j; ++k) d -= g_(j, k) * g_(j, k);

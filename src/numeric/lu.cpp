@@ -2,12 +2,20 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace pgsi {
 
 template <class T>
 Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
     PGSI_REQUIRE(lu_.square(), "LU requires a square matrix");
     const std::size_t n = lu_.rows();
+    {
+        static obs::Counter& factorizations = obs::counter("lu.factorizations");
+        static obs::Histogram& sizes = obs::histogram("lu.n");
+        ++factorizations;
+        sizes.record(static_cast<double>(n));
+    }
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
@@ -46,6 +54,8 @@ template <class T>
 std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
     const std::size_t n = lu_.rows();
     PGSI_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+    static obs::Counter& solves = obs::counter("lu.solves");
+    ++solves;
     std::vector<T> x(n);
     // Apply permutation and forward-substitute L y = P b.
     for (std::size_t i = 0; i < n; ++i) {

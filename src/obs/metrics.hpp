@@ -1,0 +1,91 @@
+// Named counters, gauges, and histograms (obs subsystem).
+//
+// The registry maps a stable name ("lu.factorizations") to a metric object
+// that lives for the whole process. Lookup takes a mutex, so hot paths cache
+// the reference once:
+//
+//     static obs::Counter& c = obs::counter("lu.factorizations");
+//     ++c;
+//
+// After that, a counter increment is one relaxed atomic add — safe and cheap
+// from any thread, including the BEM assembly workers. Histograms record
+// into power-of-two buckets under a per-histogram mutex; they are meant for
+// low-rate events (one record per factorization, not per matrix element).
+//
+// With PGSI_METRICS set in the environment, a formatted metrics table is
+// printed to stderr when the process exits; format_metrics() serves tools
+// that want the same table on demand (--profile).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgsi::obs {
+
+/// Monotonic event count.
+class Counter {
+public:
+    void add(std::uint64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+    Counter& operator++() noexcept {
+        add(1);
+        return *this;
+    }
+    void operator++(int) noexcept { add(1); }
+    std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic_uint64_t v_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+public:
+    void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+    double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+    void reset() noexcept { set(0.0); }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Distribution summary: count/sum/min/max plus power-of-two buckets.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 64; // bucket k: [2^(k-1), 2^k)
+
+    void record(double v) noexcept;
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        double sum = 0, min = 0, max = 0;
+        std::vector<std::uint64_t> buckets; ///< kBuckets entries
+        double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+    };
+    Snapshot snapshot() const;
+    void reset();
+
+private:
+    mutable std::mutex mu_;
+    Snapshot s_{0, 0, 0, 0, std::vector<std::uint64_t>(kBuckets, 0)};
+};
+
+/// Find-or-create; the returned reference is valid for the process lifetime.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// True when PGSI_METRICS is set (the exit-time table will be printed).
+bool metrics_print_requested() noexcept;
+
+/// Formatted table of every registered metric, sorted by name.
+std::string format_metrics();
+
+/// Zero every registered metric (registry entries survive; tests use this).
+void reset_metrics();
+
+} // namespace pgsi::obs

@@ -1,0 +1,280 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pgsi::obs {
+
+namespace detail {
+std::atomic_int g_trace_state{-1};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Trace epoch: all span timestamps are relative to the first clock read so
+// Chrome-trace microsecond timestamps stay small.
+std::uint64_t now_ns() {
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+            .count());
+}
+
+// Dense per-process thread index (Chrome trace "tid").
+std::uint32_t thread_index() {
+    static std::atomic_uint32_t next{0};
+    thread_local const std::uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+// Per-thread stack of open spans.
+struct OpenSpan {
+    std::string path;
+};
+thread_local std::vector<OpenSpan> t_open;
+
+std::mutex g_records_mu;
+std::vector<SpanRecord> g_records;
+
+// When PGSI_TRACE names a .json file, the trace is flushed there at exit.
+std::string& exit_trace_path() {
+    static std::string path;
+    return path;
+}
+
+void flush_exit_trace() {
+    const std::string& path = exit_trace_path();
+    if (path.empty()) return;
+    try {
+        write_chrome_trace_file(path);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "pgsi::obs: %s\n", e.what());
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+int trace_state_slow() noexcept {
+    // Racing first calls both read the same environment; the state they
+    // store is identical, so the race is benign.
+    int on = 0;
+    if (const char* env = std::getenv("PGSI_TRACE")) {
+        if (env[0] != '\0' && std::strcmp(env, "0") != 0) {
+            on = 1;
+            const std::size_t len = std::strlen(env);
+            if (len > 5 && std::strcmp(env + len - 5, ".json") == 0) {
+                exit_trace_path() = env;
+                std::atexit(flush_exit_trace);
+            }
+        }
+    }
+    g_trace_state.store(on, std::memory_order_relaxed);
+    return on;
+}
+
+} // namespace detail
+
+void set_trace_enabled(bool on) noexcept {
+    detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> trace_records() {
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    return g_records;
+}
+
+void reset_trace() {
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    g_records.clear();
+}
+
+std::string current_span_path() {
+    return t_open.empty() ? std::string() : t_open.back().path;
+}
+
+void SpanScope::begin(const char* name) noexcept {
+    try {
+        std::string path;
+        if (!t_open.empty()) {
+            path.reserve(t_open.back().path.size() + 1 + std::strlen(name));
+            path = t_open.back().path;
+            path += '/';
+            path += name;
+        } else {
+            path = name;
+        }
+        t_open.push_back({std::move(path)});
+        active_ = true;
+        t0_ = now_ns(); // last: exclude the bookkeeping above from the span
+    } catch (...) {
+        active_ = false; // allocation failure: drop the span, never throw
+    }
+}
+
+void SpanScope::end() noexcept {
+    const std::uint64_t t1 = now_ns();
+    try {
+        SpanRecord rec;
+        rec.path = std::move(t_open.back().path);
+        rec.start_ns = t0_;
+        rec.dur_ns = t1 - t0_;
+        rec.thread = thread_index();
+        rec.depth = static_cast<std::uint32_t>(t_open.size() - 1);
+        t_open.pop_back();
+        std::lock_guard<std::mutex> lock(g_records_mu);
+        g_records.push_back(std::move(rec));
+    } catch (...) {
+        if (!t_open.empty()) t_open.pop_back();
+    }
+}
+
+namespace {
+
+struct PathAgg {
+    std::size_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+std::string format_duration(double ns) {
+    char buf[64];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.3f s", ns * 1e-9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.3f ms", ns * 1e-6);
+    else
+        std::snprintf(buf, sizeof buf, "%.1f us", ns * 1e-3);
+    return buf;
+}
+
+} // namespace
+
+std::string trace_summary() {
+    // Aggregate by full path; std::map keeps "a" < "a/b" < "a/c" so the
+    // sorted order is already a preorder tree walk.
+    std::map<std::string, PathAgg> agg;
+    {
+        std::lock_guard<std::mutex> lock(g_records_mu);
+        for (const SpanRecord& r : g_records) {
+            PathAgg& a = agg[r.path];
+            ++a.count;
+            a.total_ns += r.dur_ns;
+        }
+    }
+    std::string out = "trace summary (inclusive wall time):\n";
+    if (agg.empty()) {
+        out += "  (no spans recorded; is PGSI_TRACE set?)\n";
+        return out;
+    }
+    for (const auto& [path, a] : agg) {
+        std::size_t depth = 0;
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < path.size(); ++i)
+            if (path[i] == '/') {
+                ++depth;
+                last = i + 1;
+            }
+        // Share of the parent path's inclusive time, when the parent exists.
+        double share = -1.0;
+        if (depth > 0) {
+            const auto it = agg.find(path.substr(0, last - 1));
+            if (it != agg.end() && it->second.total_ns > 0)
+                share = 100.0 * static_cast<double>(a.total_ns) /
+                        static_cast<double>(it->second.total_ns);
+        }
+        char line[256];
+        if (share >= 0)
+            std::snprintf(line, sizeof line, "  %*s%-*s %10s  x%-6zu %5.1f%%\n",
+                          static_cast<int>(2 * depth), "",
+                          static_cast<int>(40 - 2 * depth > 8 ? 40 - 2 * depth : 8),
+                          path.c_str() + last,
+                          format_duration(static_cast<double>(a.total_ns)).c_str(),
+                          a.count, share);
+        else
+            std::snprintf(line, sizeof line, "  %*s%-*s %10s  x%-6zu\n",
+                          static_cast<int>(2 * depth), "",
+                          static_cast<int>(40 - 2 * depth > 8 ? 40 - 2 * depth : 8),
+                          path.c_str() + last,
+                          format_duration(static_cast<double>(a.total_ns)).c_str(),
+                          a.count);
+        out += line;
+    }
+    return out;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string chrome_trace_json() {
+    const std::vector<SpanRecord> records = trace_records();
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const SpanRecord& r : records) {
+        // The event name is the leaf; the full path rides in args for
+        // Perfetto's detail pane.
+        const std::size_t slash = r.path.rfind('/');
+        const std::string_view leaf =
+            slash == std::string::npos
+                ? std::string_view(r.path)
+                : std::string_view(r.path).substr(slash + 1);
+        char head[128];
+        std::snprintf(head, sizeof head,
+                      "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"name\":\"",
+                      first ? "" : ",", r.thread,
+                      static_cast<double>(r.start_ns) * 1e-3,
+                      static_cast<double>(r.dur_ns) * 1e-3);
+        out += head;
+        out += json_escape(leaf);
+        out += "\",\"args\":{\"path\":\"";
+        out += json_escape(r.path);
+        out += "\"}}";
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+void write_chrome_trace_file(const std::string& path) {
+    std::ofstream f(path);
+    if (!f.good())
+        throw Error("cannot open trace output file: " + path);
+    f << chrome_trace_json();
+    if (!f.good()) throw Error("failed writing trace output file: " + path);
+}
+
+} // namespace pgsi::obs

@@ -10,6 +10,8 @@
 // Substrate
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "numeric/cholesky.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/interp.hpp"

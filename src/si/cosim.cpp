@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
 
@@ -46,6 +48,7 @@ std::size_t index_in(const std::vector<std::size_t>& keep, std::size_t node) {
 
 PlaneModel::PlaneModel(const Board& board, const SsnModelOptions& options)
     : board_(board), options_(options) {
+    PGSI_TRACE_SCOPE("ssn.plane_model");
     // Paper Fig. 2 configuration: the power plane is meshed at the stackup
     // separation above the ground plane, which acts as the common reference
     // and enters through the image terms of the Green's functions.
@@ -76,7 +79,10 @@ PlaneModel::PlaneModel(const Board& board, const SsnModelOptions& options)
     CircuitExtractor extractor(*bem_, ExtractionOptions{options_.prune_rel_tol, true});
     const std::vector<std::size_t> keep =
         extractor.select_nodes(ports, options_.interior_nodes);
-    circuit_ = extractor.extract(keep);
+    {
+        PGSI_TRACE_SCOPE("ssn.extract_circuit");
+        circuit_ = extractor.extract(keep);
+    }
 
     // Re-express the port mesh nodes as circuit-node indices.
     for (std::size_t& n : site_vcc_) n = index_in(keep, n);
@@ -180,6 +186,7 @@ SsnModel::SsnModel(std::shared_ptr<const PlaneModel> plane,
 
 TransientResult SsnModel::simulate(double dt, double tstop,
                                    std::vector<NodeId> probes) const {
+    PGSI_TRACE_SCOPE("ssn.simulate");
     TransientOptions opt;
     opt.dt = dt;
     opt.tstop = tstop;
@@ -270,6 +277,8 @@ PartitionedCosim::PartitionedCosim(std::shared_ptr<const PlaneModel> plane,
 PartitionedCosim::~PartitionedCosim() = default;
 
 PartitionedCosim::Result PartitionedCosim::run(double tstop) {
+    PGSI_TRACE_SCOPE("cosim.run");
+    static obs::Counter& exchange_counter = obs::counter("cosim.exchanges");
     Impl& im = *impl_;
     const std::size_t nsites = im.plane_vcc_node.size();
     Result res;
@@ -291,12 +300,16 @@ PartitionedCosim::Result PartitionedCosim::run(double tstop) {
             const double i_draw = -im.dev_step->vsource_current(im.v_vcc_idx[s]);
             im.plane_nl.isources()[im.i_vcc_idx[s]].src = Source::dc(i_draw);
         }
+        res.stats.current_exchanges += nsites;
         // 3. Plane subsystem steps; the resulting supply noise is fed back.
         im.plane_step->step();
         for (std::size_t s = 0; s < nsites; ++s) {
             const double vcc = im.plane_step->node_voltage(im.plane_vcc_node[s]);
             im.dev_nl.vsources()[im.v_vcc_idx[s]].src = Source::dc(vcc);
         }
+        res.stats.voltage_exchanges += nsites;
+        exchange_counter.add(2 * nsites);
+        ++res.stats.steps;
 
         res.time.push_back(step * im.dt);
         for (std::size_t s = 0; s < nsites; ++s) {
@@ -306,6 +319,8 @@ PartitionedCosim::Result PartitionedCosim::run(double tstop) {
                 im.plane_step->node_voltage(im.plane_vcc_node[s]));
         }
     }
+    res.stats.device = im.dev_step->stats();
+    res.stats.plane = im.plane_step->stats();
     return res;
 }
 

@@ -126,11 +126,21 @@ public:
                      std::size_t active_decaps = static_cast<std::size_t>(-1));
     ~PartitionedCosim();
 
+    /// Telemetry of the per-step Gauss–Seidel exchange.
+    struct CosimStats {
+        std::size_t steps = 0;             ///< co-simulation time steps
+        std::size_t current_exchanges = 0; ///< pin currents imposed on the plane
+        std::size_t voltage_exchanges = 0; ///< supply voltages fed back to devices
+        TransientStats device;             ///< device-partition stepper stats
+        TransientStats plane;              ///< plane-partition stepper stats
+    };
+
     struct Result {
         VectorD time;
         std::vector<VectorD> die_gnd;   ///< per site: die ground bounce [V]
         std::vector<VectorD> die_vcc;   ///< per site: die supply [V]
         std::vector<VectorD> plane_vcc; ///< per site: plane voltage at the Vcc pin
+        CosimStats stats;               ///< partition-exchange telemetry
     };
     Result run(double tstop);
 

@@ -5,6 +5,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "numeric/lu.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi {
 
@@ -110,6 +111,7 @@ MtlParameters extract_microstrip(const std::vector<StripSpec>& strips,
                                  double eps_r, double h,
                                  const Mtl2dOptions& options) {
     PGSI_REQUIRE(!strips.empty(), "extract_microstrip: no strips");
+    PGSI_TRACE_SCOPE("tline2d.extract_microstrip");
     PGSI_REQUIRE(eps_r >= 1.0, "extract_microstrip: eps_r must be >= 1");
     PGSI_REQUIRE(h > 0, "extract_microstrip: slab height must be positive");
 

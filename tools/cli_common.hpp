@@ -8,8 +8,58 @@
 
 #include "circuit/parser.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi::cli {
+
+/// Observability flags shared by every pgsi tool:
+///   --profile            enable tracing; print the span timing tree and the
+///                        metrics table when the tool finishes
+///   --trace-json <file>  enable tracing; write Chrome-trace JSON on exit
+///                        (loads in chrome://tracing or Perfetto)
+/// Construct one right after argument parsing; the destructor emits the
+/// reports even when the tool body throws.
+class ObsSession {
+public:
+    /// Flag names to append to a tool's known-flags list.
+    static std::vector<std::string> flags(std::vector<std::string> base) {
+        base.push_back("profile");
+        base.push_back("trace-json");
+        return base;
+    }
+
+    template <class ArgsT>
+    explicit ObsSession(const ArgsT& args)
+        : profile_(args.has("profile")), trace_path_(args.str("trace-json", "")) {
+        if (args.has("trace-json") && trace_path_.empty())
+            throw InvalidArgument("--trace-json requires an output file path");
+        if (profile_ || !trace_path_.empty()) obs::set_trace_enabled(true);
+    }
+
+    ~ObsSession() {
+        if (!trace_path_.empty()) {
+            try {
+                obs::write_chrome_trace_file(trace_path_);
+                std::fprintf(stderr, "wrote trace: %s\n", trace_path_.c_str());
+            } catch (const Error& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+            }
+        }
+        if (profile_) {
+            const std::string summary = obs::trace_summary();
+            const std::string metrics = obs::format_metrics();
+            std::fprintf(stdout, "\n%s\n%s", summary.c_str(), metrics.c_str());
+        }
+    }
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+private:
+    bool profile_;
+    std::string trace_path_;
+};
 
 /// Parsed command line: positional arguments plus --key value options
 /// (--flag with no value stores an empty string).

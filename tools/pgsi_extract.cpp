@@ -25,16 +25,19 @@ constexpr const char* kUsage =
     "pgsi_extract <board-file> [--pitch m] [--interior n] [--prune x]\n"
     "             [--spice out.sp] [--touchstone out.sNp]\n"
     "             [--fstart hz] [--fstop hz] [--points n]\n"
-    "             [--fit npoles --fit-spice out.sp]";
+    "             [--fit npoles --fit-spice out.sp]\n"
+    "             [--profile] [--trace-json out.json]";
 }
 
 int main(int argc, char** argv) {
     return cli::run_tool(
         [&]() -> int {
-            const cli::Args args(argc, argv,
-                                 {"pitch", "interior", "prune", "spice",
-                                  "touchstone", "fstart", "fstop", "points",
-                                  "fit", "fit-spice"});
+            const cli::Args args(
+                argc, argv,
+                cli::ObsSession::flags({"pitch", "interior", "prune", "spice",
+                                        "touchstone", "fstart", "fstop",
+                                        "points", "fit", "fit-spice"}));
+            const cli::ObsSession obs_session(args);
             PGSI_REQUIRE(args.positional().size() == 1,
                          "expected exactly one board file");
             const Board board = load_board_file(args.positional()[0]);

@@ -18,15 +18,18 @@ using namespace pgsi;
 namespace {
 constexpr const char* kUsage =
     "pgsi_ssn <board-file> [--pitch m] [--interior n] [--prune x]\n"
-    "         [--dt s] [--tstop s] [--csv out.csv] [--optimize N]";
+    "         [--dt s] [--tstop s] [--csv out.csv] [--optimize N]\n"
+    "         [--profile] [--trace-json out.json]";
 }
 
 int main(int argc, char** argv) {
     return cli::run_tool(
         [&]() -> int {
             const cli::Args args(argc, argv,
-                                 {"pitch", "interior", "prune", "dt", "tstop",
-                                  "csv", "optimize"});
+                                 cli::ObsSession::flags({"pitch", "interior",
+                                                         "prune", "dt", "tstop",
+                                                         "csv", "optimize"}));
+            const cli::ObsSession obs_session(args);
             PGSI_REQUIRE(args.positional().size() == 1,
                          "expected exactly one board file");
             const Board board = load_board_file(args.positional()[0]);
@@ -43,6 +46,14 @@ int main(int argc, char** argv) {
 
             const SsnModel model(plane);
             const TransientResult r = model.simulate(dt, tstop);
+
+            if (args.has("profile"))
+                std::printf("transient: %zu steps, %zu Newton iterations, "
+                            "%zu rejections, %zu LU factorizations, "
+                            "%zu solves, %.3f s\n\n",
+                            r.stats.steps, r.stats.newton_iterations,
+                            r.stats.step_rejections, r.stats.lu_factorizations,
+                            r.stats.lu_solves, r.stats.wall_seconds);
 
             std::printf("%-12s %-16s %-16s %-16s\n", "site",
                         "gnd bounce [mV]", "Vcc droop [mV]", "plane [mV]");

@@ -14,14 +14,17 @@ using namespace pgsi;
 namespace {
 constexpr const char* kUsage =
     "pgsi_tline --w <strip width> --h <substrate height> --er <eps_r>\n"
-    "           [--n <conductors>] [--gap <edge gap>] [--segments n]";
+    "           [--n <conductors>] [--gap <edge gap>] [--segments n]\n"
+    "           [--profile] [--trace-json out.json]";
 }
 
 int main(int argc, char** argv) {
     return cli::run_tool(
         [&]() -> int {
-            const cli::Args args(argc, argv,
-                                 {"w", "h", "er", "n", "gap", "segments"});
+            const cli::Args args(
+                argc, argv,
+                cli::ObsSession::flags({"w", "h", "er", "n", "gap", "segments"}));
+            const cli::ObsSession obs_session(args);
             const double w = args.num("w", 0.0);
             const double h = args.num("h", 0.0);
             const double er = args.num("er", 4.5);

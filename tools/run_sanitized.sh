@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Configure a fresh ASan/UBSan build tree and run the full test suite under
+# it. Usage: tools/run_sanitized.sh [build-dir] [ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+shift || true
+
+cmake -B "$build_dir" -S "$repo_root" -DPGSI_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc)"
+
+# halt_on_error keeps ctest exit codes meaningful; UBSan prints where it fired.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cd "$build_dir"
+ctest --output-on-failure -j"$(nproc)" "$@"
