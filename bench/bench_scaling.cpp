@@ -10,20 +10,118 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/parallel.hpp"
+#include "em/solver.hpp"
 #include "extract/equivalent_circuit.hpp"
 
 using namespace pgsi;
 
 namespace {
 
-PlaneBem make_plane(int n) {
+PlaneBem make_plane(int n, AssemblyMode assembly = AssemblyMode::Auto) {
     ConductorShape s;
     s.outline = Polygon::rectangle(0, 0, 0.1, 0.08);
     s.z = 0.5e-3;
     s.sheet_resistance = 0.6e-3;
+    BemOptions opt;
+    opt.assembly = assembly;
     return PlaneBem(RectMesh({s}, 0.1 / n), Greens::homogeneous(4.5, true),
-                    BemOptions{});
+                    opt);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+double max_rel_diff(const MatrixD& a, const MatrixD& b) {
+    const double scale = std::max(a.max_abs(), 1e-300);
+    double m = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            m = std::max(m, std::abs(a(i, j) - b(i, j)) / scale);
+    return m;
+}
+
+// Machine-readable scaling record: per mesh density, the direct vs cached
+// fill time, the cached-reconstruction error (must stay <= 1e-10), the
+// downstream dense-solver stages, and a short DirectSolver frequency sweep.
+// Committed as BENCH_scaling.json so trajectories across commits resolve
+// which stage moved.
+void write_scaling_json(const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return;
+    }
+    std::printf("=== scaling record -> %s (threads=%zu) ===\n", path,
+                par::thread_count());
+    std::fprintf(f, "{\n  \"bench\": \"scaling\",\n  \"threads\": %zu,\n",
+                 par::thread_count());
+    std::fprintf(f, "  \"cases\": [\n");
+    const int sizes[] = {6, 10, 14, 18, 24};
+    const std::size_t nsizes = sizeof(sizes) / sizeof(sizes[0]);
+    for (std::size_t si = 0; si < nsizes; ++si) {
+        const int n = sizes[si];
+
+        auto t0 = std::chrono::steady_clock::now();
+        const PlaneBem direct = make_plane(n, AssemblyMode::Direct);
+        direct.potential_matrix();
+        direct.inductance_matrix();
+        const double fill_direct_s = seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        const PlaneBem cached = make_plane(n, AssemblyMode::Cached);
+        cached.potential_matrix();
+        cached.inductance_matrix();
+        const double fill_cached_s = seconds_since(t0);
+
+        const double rel_err = std::max(
+            max_rel_diff(cached.potential_matrix(), direct.potential_matrix()),
+            max_rel_diff(cached.inductance_matrix(),
+                         direct.inductance_matrix()));
+
+        t0 = std::chrono::steady_clock::now();
+        cached.maxwell_capacitance();
+        const double invert_s = seconds_since(t0);
+        t0 = std::chrono::steady_clock::now();
+        cached.gamma();
+        const double gamma_s = seconds_since(t0);
+
+        // Short parallel frequency sweep at two corner pins.
+        const DirectSolver solver(cached, SurfaceImpedance{});
+        const std::vector<std::size_t> ports = {
+            cached.mesh().nearest_node({0.005, 0.005}, 0),
+            cached.mesh().nearest_node({0.095, 0.075}, 0)};
+        const VectorD freqs{1e8, 3e8, 1e9};
+        t0 = std::chrono::steady_clock::now();
+        const auto z = solver.sweep_impedance(freqs, ports);
+        const double sweep_s = seconds_since(t0);
+        benchmark::DoNotOptimize(z.size());
+
+        std::fprintf(f,
+                     "    {\"n\": %d, \"nodes\": %zu, \"branches\": %zu, "
+                     "\"cache_entries\": %zu,\n"
+                     "     \"fill_direct_s\": %.6f, \"fill_cached_s\": %.6f, "
+                     "\"fill_speedup\": %.2f, \"cached_rel_err\": %.3e,\n"
+                     "     \"invert_s\": %.6f, \"gamma_s\": %.6f, "
+                     "\"sweep_freqs\": %zu, \"sweep_s\": %.6f}%s\n",
+                     n, cached.node_count(), cached.mesh().branch_count(),
+                     cached.stats().cache_entries, fill_direct_s, fill_cached_s,
+                     fill_direct_s / std::max(fill_cached_s, 1e-9), rel_err,
+                     invert_s, gamma_s, freqs.size(), sweep_s,
+                     si + 1 < nsizes ? "," : "");
+        std::printf("  n=%2d: fill %.3fs direct / %.3fs cached (%.1fx), "
+                    "rel err %.1e, sweep(%zu f) %.3fs\n",
+                    n, fill_direct_s, fill_cached_s,
+                    fill_direct_s / std::max(fill_cached_s, 1e-9), rel_err,
+                    freqs.size(), sweep_s);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n");
 }
 
 void print_experiment() {
@@ -110,6 +208,9 @@ BENCHMARK(BM_full_pipeline)->Arg(6)->Arg(10)->Arg(14)->Arg(18)
 
 int main(int argc, char** argv) {
     print_experiment();
+    // PGSI_BENCH_JSON overrides the output path (default: cwd).
+    const char* json_path = std::getenv("PGSI_BENCH_JSON");
+    write_scaling_json(json_path ? json_path : "BENCH_scaling.json");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,218 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgsi::par {
+
+namespace {
+
+thread_local bool t_in_region = false;
+
+// One parallel_for invocation: an atomic cursor over [0, n) plus completion
+// bookkeeping. Workers (and the caller) pull chunks until the cursor passes
+// n; the first exception parks the cursor at n so everyone drains fast.
+struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    void run_chunks() noexcept {
+        for (;;) {
+            const std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (begin >= n) return;
+            const std::size_t end = std::min(begin + grain, n);
+            try {
+                (*body)(begin, end);
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error) error = std::current_exception();
+                }
+                cursor.store(n, std::memory_order_relaxed); // cancel the rest
+                return;
+            }
+        }
+    }
+};
+
+// Process-wide pool. Workers sleep on a condition variable between jobs; a
+// job is published by bumping a generation counter. Only one job runs at a
+// time (region_mu_ serializes top-level parallel_fors; nested calls never
+// reach the pool).
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool p;
+        return p;
+    }
+
+    // Lock-free so kernels may ask for the count from inside a region.
+    std::size_t threads() const {
+        return threads_configured_.load(std::memory_order_relaxed);
+    }
+
+    void set_threads(std::size_t n) {
+        const std::lock_guard<std::mutex> lock(region_mu_);
+        if (n == 0) n = auto_thread_count();
+        if (n == threads_configured_.load(std::memory_order_relaxed)) return;
+        stop_workers();
+        threads_configured_.store(n, std::memory_order_relaxed);
+        start_workers();
+    }
+
+    void run(std::size_t n, std::size_t grain,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+        if (n == 0) return;
+        if (grain == 0) {
+            // ~4 chunks per thread: coarse enough to amortize dispatch,
+            // fine enough to balance uneven bodies.
+            const std::size_t target = 4 * threads();
+            grain = std::max<std::size_t>(1, (n + target - 1) / target);
+        }
+        // Nested (or recursive) use: the outer level owns the workers.
+        if (t_in_region) {
+            body(0, n);
+            return;
+        }
+        const std::lock_guard<std::mutex> region(region_mu_);
+        Job job;
+        job.n = n;
+        job.grain = grain;
+        job.body = &body;
+        const std::size_t nworkers = workers_.size();
+        if (nworkers > 0 && n > grain) {
+            {
+                const std::lock_guard<std::mutex> lock(mu_);
+                job_ = &job;
+                ++generation_;
+                workers_done_ = 0;
+            }
+            work_cv_.notify_all();
+            t_in_region = true;
+            job.run_chunks();
+            t_in_region = false;
+            std::unique_lock<std::mutex> lock(mu_);
+            done_cv_.wait(lock, [&] { return workers_done_ == nworkers; });
+            job_ = nullptr;
+        } else {
+            t_in_region = true;
+            job.run_chunks();
+            t_in_region = false;
+        }
+        if (job.error) std::rethrow_exception(job.error);
+    }
+
+private:
+    Pool() {
+        threads_configured_.store(auto_thread_count(), std::memory_order_relaxed);
+        start_workers();
+    }
+
+    ~Pool() {
+        const std::lock_guard<std::mutex> lock(region_mu_);
+        stop_workers();
+    }
+
+    static std::size_t auto_thread_count() {
+        const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+        return parse_thread_count(std::getenv("PGSI_THREADS"), hw);
+    }
+
+    void start_workers() {
+        std::uint64_t gen;
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            stop_ = false;
+            gen = generation_;
+        }
+        const std::size_t configured = threads();
+        const std::size_t nworkers = configured > 0 ? configured - 1 : 0;
+        workers_.reserve(nworkers);
+        for (std::size_t i = 0; i < nworkers; ++i)
+            workers_.emplace_back([this, gen] { worker_loop(gen); });
+    }
+
+    void stop_workers() {
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread& t : workers_) t.join();
+        workers_.clear();
+    }
+
+    // seen starts at the generation captured when this worker was spawned
+    // (no job can be in flight then — reconfiguration holds region_mu_).
+    // generation_ outlives reconfiguration, so starting from zero would make
+    // a fresh worker mistake an already-retired job_ (nullptr) for new work.
+    void worker_loop(std::uint64_t seen) {
+        for (;;) {
+            Job* job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                work_cv_.wait(lock,
+                              [&] { return stop_ || generation_ != seen; });
+                if (stop_) return;
+                seen = generation_;
+                job = job_;
+            }
+            t_in_region = true;
+            job->run_chunks();
+            t_in_region = false;
+            {
+                const std::lock_guard<std::mutex> lock(mu_);
+                ++workers_done_;
+            }
+            done_cv_.notify_one();
+        }
+    }
+
+    std::mutex region_mu_; // serializes top-level parallel_fors + reconfig
+    std::atomic<std::size_t> threads_configured_{1};
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_; // guards the fields below
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Job* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t workers_done_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace
+
+std::size_t parse_thread_count(const char* value, std::size_t fallback) noexcept {
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n <= 0) return fallback;
+    return std::min<std::size_t>(static_cast<std::size_t>(n), 1024);
+}
+
+std::size_t thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(std::size_t n) { Pool::instance().set_threads(n); }
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+namespace detail {
+
+void run_chunked(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+    Pool::instance().run(n, grain, body);
+}
+
+} // namespace detail
+
+} // namespace pgsi::par

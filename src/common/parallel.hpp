@@ -1,0 +1,78 @@
+// Shared thread pool for every parallel hot path in pgsi (pgsi::par).
+//
+// The library previously spawned a fresh std::thread batch inside each BEM
+// assembly call; with blocked dense kernels, parallel sweeps, and cached
+// assembly all wanting workers, that per-call spawn becomes both a cost and a
+// correctness hazard (nested spawning oversubscribes the machine). Instead a
+// single process-wide pool of persistent workers serves every
+// `parallel_for`:
+//
+//   * The worker count defaults to std::thread::hardware_concurrency() and
+//     can be overridden with the PGSI_THREADS environment variable (read at
+//     first use) or programmatically with set_thread_count() (tests use this
+//     to check result invariance across thread counts).
+//   * parallel_for(n, body) runs body(i) for i in [0, n); the chunked variant
+//     parallel_for_chunked(n, grain, body) hands workers half-open ranges
+//     [begin, end) — the form the blocked dense kernels want.
+//   * Work is distributed by an atomic chunk counter, so the partition a
+//     worker receives depends on thread count and timing — bodies must make
+//     per-index work independent (all pgsi kernels write disjoint outputs,
+//     which also keeps results bit-identical at any thread count).
+//   * The calling thread participates, so parallel_for(1, f) costs one
+//     function call and a pool of size 1 degenerates to a serial loop.
+//   * Nested calls (a parallel_for issued from inside a worker) run inline
+//     on the calling worker: the outermost level owns the parallelism. This
+//     makes it safe to parallelize a frequency sweep whose per-frequency
+//     solve itself uses parallel kernels.
+//   * The first exception thrown by any body cancels the remaining chunks
+//     and is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pgsi::par {
+
+/// Number of threads the pool will use (callers + workers), >= 1. Reads
+/// PGSI_THREADS on first use; never throws.
+std::size_t thread_count();
+
+/// Reconfigure the pool to n threads (n == 0 restores the automatic choice:
+/// PGSI_THREADS if set, else hardware_concurrency). Joins existing workers;
+/// must not be called from inside a parallel_for body.
+void set_thread_count(std::size_t n);
+
+/// True when the calling thread is currently executing inside a
+/// parallel_for body (top-level calls from such a context run inline).
+bool in_parallel_region() noexcept;
+
+/// Parse a PGSI_THREADS-style value: returns the parsed count clamped to
+/// [1, 1024], or `fallback` when value is null/empty/non-numeric/zero.
+/// Exposed for tests.
+std::size_t parse_thread_count(const char* value, std::size_t fallback) noexcept;
+
+namespace detail {
+/// Run body(begin, end) over a partition of [0, n) into chunks of size
+/// `grain`, using the shared pool. Blocks until every chunk completed;
+/// rethrows the first body exception.
+void run_chunked(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+} // namespace detail
+
+/// body(begin, end) over chunks of [0, n). grain == 0 picks a chunk size
+/// that yields ~4 chunks per thread (dynamic load balancing without
+/// excessive dispatch).
+template <class F>
+void parallel_for_chunked(std::size_t n, std::size_t grain, F&& body) {
+    detail::run_chunked(n, grain, body);
+}
+
+/// body(i) for each i in [0, n), distributed across the pool.
+template <class F>
+void parallel_for(std::size_t n, F&& body) {
+    detail::run_chunked(n, 1, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+}
+
+} // namespace pgsi::par

@@ -36,6 +36,20 @@ enum class Testing {
     Galerkin       ///< test functions equal to the basis functions
 };
 
+/// How the P and L fills evaluate the Green's-function integrals.
+///
+/// The quasi-static kernels depend only on the observation-source
+/// displacement and the (z, z') pair, so on a uniform-pitch mesh (congruent
+/// cells on one integer lattice) every matrix entry is a lookup into a table
+/// with one entry per *distinct displacement* — O(#offsets) ≈ O(N) expensive
+/// quadrature/image-series evaluations instead of O(N²).
+enum class AssemblyMode {
+    Auto,   ///< cache when the mesh is uniform and the table is smaller
+            ///< than the direct evaluation count; direct otherwise
+    Direct, ///< always evaluate every pair (reference path)
+    Cached  ///< require the cache; throws if the mesh is not uniform
+};
+
 /// Assembly options.
 struct BemOptions {
     Testing testing = Testing::PointMatching;
@@ -43,6 +57,8 @@ struct BemOptions {
     int galerkin_order = 2;
     /// Gauss order per axis for the outer integral of partial inductances.
     int l_quad_order = 4;
+    /// Displacement-keyed interaction-table policy for the P and L fills.
+    AssemblyMode assembly = AssemblyMode::Auto;
 };
 
 /// Wall-time telemetry of the lazy BEM assembly steps (seconds; zero until
@@ -52,6 +68,9 @@ struct BemAssemblyStats {
     double inductance_seconds = 0;   ///< L fill
     double capacitance_seconds = 0;  ///< C = Ppot⁻¹ factorization/inverse
     double gamma_seconds = 0;        ///< Γ = Pᵀ L⁻¹ P
+    bool potential_cached = false;   ///< Ppot fill used the interaction table
+    bool inductance_cached = false;  ///< L fill used the interaction table
+    std::size_t cache_entries = 0;   ///< distinct offset-table entries evaluated
 };
 
 /// Assembled BEM operator for one meshed plane structure. Matrices are

@@ -11,16 +11,25 @@ namespace {
 
 // Exact closed form near the source rectangle, point-source approximation
 // once the 3-D separation exceeds several source diagonals (relative error
-// O((diag/dist)^2) < 1e-3 at the default threshold).
+// O((diag/dist)^2) < 1e-3 at the default threshold). The switch is blended
+// over a narrow band rather than a hard cut: on a uniform mesh, offsets can
+// land exactly on the threshold, where ulp-level coordinate differences
+// between congruent pairs would otherwise flip the branch and expose the
+// full approximation jump (~1e-4) between entries that must agree.
 double inv_r_adaptive(Point2 obs, const Rect& src, double z) {
     constexpr double far_factor = 8.0;
+    constexpr double blend_band = 0.02; // fraction of far2 blended linearly
     const Point2 c = src.center();
     const double dx = obs.x - c.x, dy = obs.y - c.y;
     const double dist2 = dx * dx + dy * dy + z * z;
     const double diag2 = src.width() * src.width() + src.height() * src.height();
-    if (dist2 > far_factor * far_factor * diag2)
+    const double far2 = far_factor * far_factor * diag2;
+    if (dist2 >= far2 * (1.0 + blend_band))
         return src.area() / std::sqrt(dist2);
-    return rect_inv_r_integral(obs, src, z);
+    if (dist2 <= far2) return rect_inv_r_integral(obs, src, z);
+    const double t = (dist2 - far2) / (far2 * blend_band);
+    return (1.0 - t) * rect_inv_r_integral(obs, src, z) +
+           t * src.area() / std::sqrt(dist2);
 }
 
 } // namespace

@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "numeric/lu.hpp"
 #include "obs/trace.hpp"
 
@@ -25,7 +26,6 @@ DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs)
 MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     PGSI_REQUIRE(freq_hz > 0, "DirectSolver: frequency must be positive");
     PGSI_TRACE_SCOPE("em.solve.nodal_admittance");
-    ++stats_.frequencies;
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
 
@@ -38,14 +38,20 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     // Branch impedance matrix Zb = Zs(ω)·len/width + jωL.
     auto t0 = std::chrono::steady_clock::now();
     MatrixC zb(m, m);
-    for (std::size_t a = 0; a < m; ++a)
-        for (std::size_t b = 0; b < m; ++b) zb(a, b) = jw * l(a, b);
+    par::parallel_for_chunked(m, 0, [&](std::size_t a0, std::size_t a1) {
+        for (std::size_t a = a0; a < a1; ++a) {
+            const double* lrow = l.row(a);
+            Complex* zrow = zb.row(a);
+            for (std::size_t b = 0; b < m; ++b) zrow[b] = jw * lrow[b];
+        }
+    });
     const Complex zs = zs_.at(omega);
     for (std::size_t b = 0; b < m; ++b)
         zb(b, b) += zs * branches[b].length() / branches[b].width();
-    stats_.fill_seconds += seconds_since(t0);
+    const double fill_s = seconds_since(t0);
 
-    // X = Zb⁻¹ P, built column-by-column through the sparse incidence.
+    // X = Zb⁻¹ P through a single blocked multi-RHS solve against the dense
+    // incidence; Y = Pᵀ X accumulated through the sparse incidence rows.
     t0 = std::chrono::steady_clock::now();
     std::unique_ptr<const Lu<Complex>> lu;
     try {
@@ -55,30 +61,42 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
                        std::to_string(freq_hz) + " Hz");
         throw;
     }
-    stats_.factor_seconds += seconds_since(t0);
-    ++stats_.factorizations;
+    const double factor_s = seconds_since(t0);
 
     t0 = std::chrono::steady_clock::now();
+    MatrixC incidence(m, n);
+    for (std::size_t b = 0; b < m; ++b) {
+        incidence(b, branches[b].n1) = Complex(1.0, 0.0);
+        incidence(b, branches[b].n2) = Complex(-1.0, 0.0);
+    }
+    const MatrixC x = lu->solve(incidence);
     MatrixC y(n, n);
-    VectorC col(m);
-    for (std::size_t j = 0; j < n; ++j) {
-        for (std::size_t b = 0; b < m; ++b) {
-            double v = 0;
-            if (branches[b].n1 == j) v += 1.0;
-            if (branches[b].n2 == j) v -= 1.0;
-            col[b] = Complex(v, 0.0);
-        }
-        const VectorC x = lu->solve(col);
-        // Y(:,j) += Pᵀ x
-        for (std::size_t b = 0; b < m; ++b) {
-            y(branches[b].n1, j) += x[b];
-            y(branches[b].n2, j) -= x[b];
+    for (std::size_t b = 0; b < m; ++b) {
+        const Complex* xrow = x.row(b);
+        Complex* r1 = y.row(branches[b].n1);
+        Complex* r2 = y.row(branches[b].n2);
+        for (std::size_t j = 0; j < n; ++j) {
+            r1[j] += xrow[j];
+            r2[j] -= xrow[j];
         }
     }
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j < n; ++j) y(i, j) += jw * c(i, j);
-    stats_.solve_seconds += seconds_since(t0);
-    stats_.solves += n;
+    par::parallel_for_chunked(n, 0, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const double* crow = c.row(i);
+            Complex* yrow = y.row(i);
+            for (std::size_t j = 0; j < n; ++j) yrow[j] += jw * crow[j];
+        }
+    });
+    const double solve_s = seconds_since(t0);
+    {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frequencies;
+        ++stats_.factorizations;
+        stats_.solves += n;
+        stats_.fill_seconds += fill_s;
+        stats_.factor_seconds += factor_s;
+        stats_.solve_seconds += solve_s;
+    }
     return y;
 }
 
@@ -89,18 +107,29 @@ MatrixC DirectSolver::port_impedance(
     const MatrixC y = nodal_admittance(freq_hz);
     const auto t0 = std::chrono::steady_clock::now();
     const MatrixC zfull = Lu<Complex>(y).inverse();
-    stats_.factor_seconds += seconds_since(t0);
-    ++stats_.factorizations;
-    stats_.solves += y.rows();
+    const double factor_s = seconds_since(t0);
+    {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.factor_seconds += factor_s;
+        ++stats_.factorizations;
+        stats_.solves += y.rows();
+    }
     return zfull.submatrix(port_nodes, port_nodes);
 }
 
 std::vector<MatrixC> DirectSolver::sweep_impedance(
     const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_TRACE_SCOPE("em.solve.sweep");
-    std::vector<MatrixC> out;
-    out.reserve(freqs_hz.size());
-    for (double f : freqs_hz) out.push_back(port_impedance(f, port_nodes));
+    // Force the lazy assemblies before fanning out: the frequency points are
+    // embarrassingly parallel once the frequency-independent matrices exist,
+    // and the per-frequency dense kernels run inline inside the pool workers
+    // (the sweep level owns the parallelism).
+    bem_.inductance_matrix();
+    bem_.maxwell_capacitance();
+    std::vector<MatrixC> out(freqs_hz.size());
+    par::parallel_for(freqs_hz.size(), [&](std::size_t i) {
+        out[i] = port_impedance(freqs_hz[i], port_nodes);
+    });
     return out;
 }
 

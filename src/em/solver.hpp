@@ -8,6 +8,7 @@
 // is validated (the role the measurement and full-wave data play in §6.1).
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "em/bem_plane.hpp"
@@ -41,16 +42,20 @@ public:
     MatrixC port_impedance(double freq_hz,
                            const std::vector<std::size_t>& port_nodes) const;
 
-    /// Convenience sweep: Z(f) for each frequency in freqs_hz.
+    /// Sweep: Z(f) for each frequency in freqs_hz. Frequency points are
+    /// independent solves and run in parallel on the shared pgsi::par pool
+    /// (the frequency-independent BEM matrices are assembled up front).
     std::vector<MatrixC> sweep_impedance(
         const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const;
 
-    /// Telemetry accumulated over every call on this solver so far.
+    /// Telemetry accumulated over every call on this solver so far. Do not
+    /// read while a sweep is in flight.
     const DirectSolverStats& stats() const { return stats_; }
 
 private:
     const PlaneBem& bem_;
     SurfaceImpedance zs_;
+    mutable std::mutex stats_mu_; // sweeps update stats_ from pool workers
     mutable DirectSolverStats stats_;
 };
 

@@ -1,0 +1,38 @@
+// Cache-blocked, pool-parallel dense matrix-multiply kernel.
+//
+// The dense hot paths of the library (matrix products, LU/Cholesky trailing
+// updates, multi-RHS substitutions) all reduce to the rank-k update
+//
+//     C[0..m, 0..n) += alpha * A[0..m, 0..k) * B[0..k, 0..n)
+//
+// over row-major storage with independent leading dimensions, so factorization
+// code can point A/B/C at submatrices of one allocation. The kernel blocks
+// over k (panel height kc) and packs each B panel into contiguous storage so
+// the innermost j-loop streams packed data regardless of ldb; rows of C are
+// distributed over the shared pgsi::par pool. Per-(i,j) accumulation order is
+// fixed (k panels ascending, rows ascending inside each panel), so results
+// are bit-identical at any thread count.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace pgsi::detail {
+
+/// C += alpha * A * B (shapes m×k · k×n, row-major, leading dimensions
+/// lda/ldb/ldc). Safe to call from inside a parallel region (runs inline).
+template <class T>
+void gemm_update(T alpha, const T* a, std::size_t lda, const T* b,
+                 std::size_t ldb, T* c, std::size_t ldc, std::size_t m,
+                 std::size_t k, std::size_t n);
+
+extern template void gemm_update<double>(double, const double*, std::size_t,
+                                         const double*, std::size_t, double*,
+                                         std::size_t, std::size_t, std::size_t,
+                                         std::size_t);
+extern template void gemm_update<std::complex<double>>(
+    std::complex<double>, const std::complex<double>*, std::size_t,
+    const std::complex<double>*, std::size_t, std::complex<double>*,
+    std::size_t, std::size_t, std::size_t, std::size_t);
+
+} // namespace pgsi::detail

@@ -11,9 +11,11 @@
 #include <cmath>
 #include <complex>
 #include <initializer_list>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
+#include "numeric/gemm.hpp"
 
 namespace pgsi {
 
@@ -105,17 +107,26 @@ public:
     friend Matrix operator*(Matrix a, T s) { return a *= s; }
     friend Matrix operator*(T s, Matrix a) { return a *= s; }
 
-    /// Matrix-matrix product.
+    /// Matrix-matrix product. Cache-blocked and pool-parallel for the
+    /// double/complex instantiations (numeric/gemm.hpp); scalar fallback
+    /// otherwise.
     friend Matrix operator*(const Matrix& a, const Matrix& b) {
         PGSI_REQUIRE(a.cols_ == b.rows_, "shape mismatch in matrix product");
         Matrix c(a.rows_, b.cols_);
-        for (std::size_t i = 0; i < a.rows_; ++i) {
-            for (std::size_t k = 0; k < a.cols_; ++k) {
-                const T aik = a(i, k);
-                if (aik == T{}) continue;
-                const T* brow = b.row(k);
-                T* crow = c.row(i);
-                for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+        if constexpr (std::is_same_v<T, double> ||
+                      std::is_same_v<T, std::complex<double>>) {
+            detail::gemm_update(T{1}, a.data(), a.cols_, b.data(), b.cols_,
+                                c.data(), c.cols_, a.rows_, a.cols_, b.cols_);
+        } else {
+            for (std::size_t i = 0; i < a.rows_; ++i) {
+                for (std::size_t k = 0; k < a.cols_; ++k) {
+                    const T aik = a(i, k);
+                    if (aik == T{}) continue;
+                    const T* brow = b.row(k);
+                    T* crow = c.row(i);
+                    for (std::size_t j = 0; j < b.cols_; ++j)
+                        crow[j] += aik * brow[j];
+                }
             }
         }
         return c;

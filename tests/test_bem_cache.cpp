@@ -1,0 +1,148 @@
+// Cached (translation-invariant interaction table) vs direct BEM assembly.
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "em/bem_plane.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// 20 x 16 mm plane with an off-center 4 x 3 mm antipad hole: uniform pitch,
+// irregular occupancy — the case the displacement table must reproduce.
+RectMesh holey_mesh() {
+    ConductorShape s;
+    s.outline = Polygon::rectangle(0, 0, 0.020, 0.016);
+    s.holes.push_back(Polygon::rectangle(0.006, 0.005, 0.010, 0.008));
+    s.z = 0.4e-3;
+    s.sheet_resistance = 1e-3;
+    return RectMesh({s}, 0.001);
+}
+
+// Two congruent planes at different heights whose grids share one lattice:
+// exercises the (z, z') dimension of the table.
+RectMesh stacked_mesh() {
+    ConductorShape a;
+    a.outline = Polygon::rectangle(0, 0, 0.010, 0.008);
+    a.z = 0.3e-3;
+    ConductorShape b = a;
+    b.z = 0.8e-3;
+    return RectMesh({a, b}, 0.001);
+}
+
+// Shapes of incommensurate widths get different stretched pitches: the
+// lattice test must reject this mesh.
+RectMesh nonuniform_mesh() {
+    ConductorShape a;
+    a.outline = Polygon::rectangle(0, 0, 0.010, 0.008);
+    a.z = 0.4e-3;
+    ConductorShape b;
+    b.outline = Polygon::rectangle(0.015, 0, 0.015 + 0.0073, 0.0073);
+    b.z = 0.4e-3;
+    return RectMesh({a, b}, 0.001);
+}
+
+double max_rel_diff(const MatrixD& a, const MatrixD& b) {
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    const double scale = std::max(a.max_abs(), 1e-300);
+    double m = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            m = std::max(m, std::abs(a(i, j) - b(i, j)) / scale);
+    return m;
+}
+
+PlaneBem make(RectMesh mesh, AssemblyMode mode,
+              Testing testing = Testing::PointMatching) {
+    BemOptions opt;
+    opt.testing = testing;
+    opt.assembly = mode;
+    return PlaneBem(std::move(mesh), Greens::homogeneous(4.2, true), opt);
+}
+
+} // namespace
+
+TEST(BemCache, CachedMatchesDirectOnHoleyMesh) {
+    const PlaneBem direct = make(holey_mesh(), AssemblyMode::Direct);
+    const PlaneBem cached = make(holey_mesh(), AssemblyMode::Cached);
+    EXPECT_LT(max_rel_diff(cached.potential_matrix(), direct.potential_matrix()),
+              1e-12);
+    EXPECT_LT(max_rel_diff(cached.inductance_matrix(), direct.inductance_matrix()),
+              1e-12);
+    EXPECT_TRUE(cached.stats().potential_cached);
+    EXPECT_TRUE(cached.stats().inductance_cached);
+    EXPECT_GT(cached.stats().cache_entries, 0u);
+    EXPECT_FALSE(direct.stats().potential_cached);
+    EXPECT_FALSE(direct.stats().inductance_cached);
+}
+
+TEST(BemCache, CachedMatchesDirectWithGalerkinTesting) {
+    const PlaneBem direct =
+        make(holey_mesh(), AssemblyMode::Direct, Testing::Galerkin);
+    const PlaneBem cached =
+        make(holey_mesh(), AssemblyMode::Cached, Testing::Galerkin);
+    EXPECT_LT(max_rel_diff(cached.potential_matrix(), direct.potential_matrix()),
+              1e-12);
+    EXPECT_TRUE(cached.stats().potential_cached);
+}
+
+TEST(BemCache, CachedMatchesDirectAcrossStackedLayers) {
+    const PlaneBem direct = make(stacked_mesh(), AssemblyMode::Direct);
+    const PlaneBem cached = make(stacked_mesh(), AssemblyMode::Cached);
+    EXPECT_LT(max_rel_diff(cached.potential_matrix(), direct.potential_matrix()),
+              1e-12);
+    EXPECT_LT(max_rel_diff(cached.inductance_matrix(), direct.inductance_matrix()),
+              1e-12);
+}
+
+TEST(BemCache, AutoFallsBackOnNonUniformMesh) {
+    const PlaneBem bem = make(nonuniform_mesh(), AssemblyMode::Auto);
+    bem.potential_matrix();
+    bem.inductance_matrix();
+    EXPECT_FALSE(bem.stats().potential_cached);
+    EXPECT_FALSE(bem.stats().inductance_cached);
+}
+
+TEST(BemCache, AutoUsesCacheOnUniformMesh) {
+    const PlaneBem bem = make(holey_mesh(), AssemblyMode::Auto);
+    bem.potential_matrix();
+    bem.inductance_matrix();
+    EXPECT_TRUE(bem.stats().potential_cached);
+    EXPECT_TRUE(bem.stats().inductance_cached);
+}
+
+TEST(BemCache, ForcedCacheOnNonUniformMeshThrows) {
+    const PlaneBem bem = make(nonuniform_mesh(), AssemblyMode::Cached);
+    EXPECT_THROW(bem.potential_matrix(), Error);
+    EXPECT_THROW(bem.inductance_matrix(), Error);
+}
+
+// Assembly results must be bit-identical at any thread count: work is
+// partitioned over disjoint outputs with a fixed per-entry evaluation order.
+TEST(BemCache, ResultsInvariantAcrossThreadCounts) {
+    for (const AssemblyMode mode : {AssemblyMode::Direct, AssemblyMode::Cached}) {
+        par::set_thread_count(1);
+        const PlaneBem one = make(holey_mesh(), mode);
+        const MatrixD p1 = one.potential_matrix();
+        const MatrixD l1 = one.inductance_matrix();
+        for (const std::size_t threads : {2u, 8u}) {
+            par::set_thread_count(threads);
+            const PlaneBem many = make(holey_mesh(), mode);
+            const MatrixD& pn = many.potential_matrix();
+            const MatrixD& ln = many.inductance_matrix();
+            double dp = 0, dl = 0;
+            for (std::size_t i = 0; i < p1.rows(); ++i)
+                for (std::size_t j = 0; j < p1.cols(); ++j)
+                    dp = std::max(dp, std::abs(p1(i, j) - pn(i, j)));
+            for (std::size_t i = 0; i < l1.rows(); ++i)
+                for (std::size_t j = 0; j < l1.cols(); ++j)
+                    dl = std::max(dl, std::abs(l1(i, j) - ln(i, j)));
+            EXPECT_EQ(dp, 0.0) << "mode=" << static_cast<int>(mode)
+                               << " threads=" << threads;
+            EXPECT_EQ(dl, 0.0) << "mode=" << static_cast<int>(mode)
+                               << " threads=" << threads;
+        }
+    }
+    par::set_thread_count(0);
+}

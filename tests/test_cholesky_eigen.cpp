@@ -100,3 +100,37 @@ TEST(EigenSpdProduct, DiagonalizesLC) {
             EXPECT_NEAR(lct[i], pe.values[k] * t[i], 1e-8 * (1.0 + pe.values[k]));
     }
 }
+
+// --- Blocked factorization / multi-RHS paths --------------------------------
+
+TEST(Cholesky, BlockedFactorReconstructsAcrossBlockBoundary) {
+    // n = 150 crosses the 64-column factorization block.
+    const int n = 150;
+    const MatrixD a = random_spd(n, 51);
+    const MatrixD g = Cholesky(a).factor();
+    const MatrixD r = g * g.transposed();
+    double worst = 0;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            worst = std::max(worst, std::abs(r(i, j) - a(i, j)));
+    EXPECT_LT(worst, 1e-9 * a.max_abs());
+}
+
+TEST(Cholesky, MatrixSolveMatchesColumnwiseVectorSolves) {
+    const int n = 130, k = 70; // k crosses the substitution block
+    const MatrixD a = random_spd(n, 61);
+    std::mt19937 rng(62);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD b(n, k);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < k; ++j) b(i, j) = u(rng);
+    const Cholesky chol(a);
+    const MatrixD x = chol.solve(b);
+    for (int j = 0; j < k; j += 17) {
+        VectorD col(n);
+        for (int i = 0; i < n; ++i) col[i] = b(i, j);
+        const VectorD xj = chol.solve(col);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(x(i, j), xj[i], 1e-9) << "col=" << j;
+    }
+}

@@ -80,3 +80,110 @@ TEST_P(LuResidual, RandomSystemResidual) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LuResidual,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- Blocked factorization / multi-RHS paths --------------------------------
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+// Well-conditioned random system large enough to cross the 64-column
+// factorization block and exercise the GEMM trailing updates.
+MatrixD random_spd_ish(int n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD a(n, n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) a(i, j) = u(rng);
+        a(i, i) += n;
+    }
+    return a;
+}
+
+} // namespace
+
+TEST(Lu, BlockedResidualAcrossBlockBoundary) {
+    for (const int n : {150, 193}) {
+        const MatrixD a = random_spd_ish(n, 100 + n);
+        std::mt19937 rng(7);
+        std::uniform_real_distribution<double> u(-1.0, 1.0);
+        VectorD b(n);
+        for (int i = 0; i < n; ++i) b[i] = u(rng);
+        const VectorD x = Lu<double>(a).solve(b);
+        VectorD r = a * x;
+        for (int i = 0; i < n; ++i) r[i] -= b[i];
+        EXPECT_LT(norm2(r), 1e-10 * (1.0 + norm2(b))) << "n=" << n;
+    }
+}
+
+TEST(Lu, MatrixSolveMatchesColumnwiseVectorSolves) {
+    const int n = 97, k = 13;
+    const MatrixD a = random_spd_ish(n, 11);
+    std::mt19937 rng(12);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD b(n, k);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < k; ++j) b(i, j) = u(rng);
+    const Lu<double> lu(a);
+    const MatrixD x = lu.solve(b);
+    for (int j = 0; j < k; ++j) {
+        VectorD col(n);
+        for (int i = 0; i < n; ++i) col[i] = b(i, j);
+        const VectorD xj = lu.solve(col);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(x(i, j), xj[i], 1e-11) << "col=" << j;
+    }
+}
+
+TEST(Lu, MultiRhsResidualWideBlock) {
+    // nrhs = 200 crosses the 64-column substitution block.
+    const int n = 120, k = 200;
+    const MatrixD a = random_spd_ish(n, 21);
+    std::mt19937 rng(22);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD b(n, k);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < k; ++j) b(i, j) = u(rng);
+    const MatrixD x = Lu<double>(a).solve(b);
+    const MatrixD r = a * x;
+    double worst = 0;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < k; ++j)
+            worst = std::max(worst, std::abs(r(i, j) - b(i, j)));
+    EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Lu, SolveBitIdenticalAcrossThreadCounts) {
+    const int n = 160, k = 40;
+    const MatrixD a = random_spd_ish(n, 31);
+    std::mt19937 rng(32);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD b(n, k);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < k; ++j) b(i, j) = u(rng);
+    par::set_thread_count(1);
+    const MatrixD x1 = Lu<double>(a).solve(b);
+    for (const std::size_t threads : {2u, 8u}) {
+        par::set_thread_count(threads);
+        const MatrixD xn = Lu<double>(a).solve(b);
+        double d = 0;
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < k; ++j)
+                d = std::max(d, std::abs(x1(i, j) - xn(i, j)));
+        EXPECT_EQ(d, 0.0) << "threads=" << threads;
+    }
+    par::set_thread_count(0);
+}
+
+TEST(Lu, SolveCountersDistinguishCallsFromColumns) {
+    obs::reset_metrics();
+    const MatrixD a = random_spd_ish(50, 41);
+    const Lu<double> lu(a);
+    lu.solve(VectorD(50));
+    EXPECT_EQ(obs::counter("lu.solves").value(), 1u);
+    EXPECT_EQ(obs::counter("lu.rhs_cols").value(), 1u);
+    lu.solve(MatrixD(50, 9));
+    EXPECT_EQ(obs::counter("lu.solves").value(), 2u);
+    EXPECT_EQ(obs::counter("lu.rhs_cols").value(), 10u);
+}

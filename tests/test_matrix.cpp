@@ -111,3 +111,90 @@ TEST(Matrix, ShapeMismatchThrows) {
     EXPECT_THROW(a += b, InvalidArgument);
     EXPECT_THROW((void)(a * VectorD{1, 2, 3}), InvalidArgument);
 }
+
+// --- Blocked parallel GEMM (numeric/gemm.hpp) -------------------------------
+
+#include <random>
+
+#include "common/parallel.hpp"
+
+namespace {
+
+MatrixD random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixD m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j) m(i, j) = u(rng);
+    return m;
+}
+
+MatrixC random_complex(std::size_t rows, std::size_t cols, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixC m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j) m(i, j) = Complex(u(rng), u(rng));
+    return m;
+}
+
+// Scalar triple-loop reference the blocked kernel must agree with.
+template <class T>
+Matrix<T> naive_product(const Matrix<T>& a, const Matrix<T>& b) {
+    Matrix<T> c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < a.cols(); ++k)
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += a(i, k) * b(k, j);
+    return c;
+}
+
+} // namespace
+
+TEST(Gemm, BlockedMatchesNaiveRealRaggedShapes) {
+    const MatrixD a = random_matrix(37, 53, 1);
+    const MatrixD b = random_matrix(53, 41, 2);
+    const MatrixD c = a * b;
+    const MatrixD ref = naive_product(a, b);
+    for (std::size_t i = 0; i < c.rows(); ++i)
+        for (std::size_t j = 0; j < c.cols(); ++j)
+            EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+}
+
+TEST(Gemm, BlockedMatchesNaiveAcrossPanelBoundary) {
+    // k = 300 crosses the 256-row packing panel.
+    const MatrixD a = random_matrix(65, 300, 3);
+    const MatrixD b = random_matrix(300, 67, 4);
+    const MatrixD c = a * b;
+    const MatrixD ref = naive_product(a, b);
+    for (std::size_t i = 0; i < c.rows(); ++i)
+        for (std::size_t j = 0; j < c.cols(); ++j)
+            EXPECT_NEAR(c(i, j), ref(i, j), 1e-11);
+}
+
+TEST(Gemm, BlockedMatchesNaiveComplex) {
+    const MatrixC a = random_complex(29, 31, 5);
+    const MatrixC b = random_complex(31, 23, 6);
+    const MatrixC c = a * b;
+    const MatrixC ref = naive_product(a, b);
+    for (std::size_t i = 0; i < c.rows(); ++i)
+        for (std::size_t j = 0; j < c.cols(); ++j)
+            EXPECT_NEAR(std::abs(c(i, j) - ref(i, j)), 0.0, 1e-12);
+}
+
+TEST(Gemm, ProductBitIdenticalAcrossThreadCounts) {
+    const MatrixD a = random_matrix(120, 90, 7);
+    const MatrixD b = random_matrix(90, 110, 8);
+    pgsi::par::set_thread_count(1);
+    const MatrixD c1 = a * b;
+    for (const std::size_t threads : {2u, 8u}) {
+        pgsi::par::set_thread_count(threads);
+        const MatrixD cn = a * b;
+        double d = 0;
+        for (std::size_t i = 0; i < c1.rows(); ++i)
+            for (std::size_t j = 0; j < c1.cols(); ++j)
+                d = std::max(d, std::abs(c1(i, j) - cn(i, j)));
+        EXPECT_EQ(d, 0.0) << "threads=" << threads;
+    }
+    pgsi::par::set_thread_count(0);
+}

@@ -1,19 +1,50 @@
 #!/usr/bin/env bash
-# Configure a fresh ASan/UBSan build tree and run the full test suite under
-# it. Usage: tools/run_sanitized.sh [build-dir] [ctest args...]
+# Configure a fresh sanitized build tree and run tests under it.
+#
+# Usage: tools/run_sanitized.sh [--tsan] [build-dir] [ctest args...]
+#
+# Default mode builds with ASan+UBSan and runs the full suite. --tsan builds
+# with ThreadSanitizer (its own build dir: the two sanitizers cannot share
+# object files) and runs the concurrency-sensitive suites — the pgsi::par
+# pool, the parallel BEM assembly, the dense kernels, and the sweep solver —
+# unless explicit ctest args are given.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-sanitize}"
+
+mode=address
+if [[ "${1:-}" == "--tsan" ]]; then
+  mode=thread
+  shift
+fi
+
+if [[ $mode == thread ]]; then
+  default_dir="$repo_root/build-tsan"
+else
+  default_dir="$repo_root/build-sanitize"
+fi
+build_dir="${1:-$default_dir}"
 shift || true
 
-cmake -B "$build_dir" -S "$repo_root" -DPGSI_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [[ $mode == thread ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DPGSI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+else
+  cmake -B "$build_dir" -S "$repo_root" -DPGSI_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
 cmake --build "$build_dir" -j"$(nproc)"
 
-# halt_on_error keeps ctest exit codes meaningful; UBSan prints where it fired.
+# halt_on_error keeps ctest exit codes meaningful; UBSan prints where it
+# fired; TSan's second_deadlock_stack names both locks of a lock-order report.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cd "$build_dir"
-ctest --output-on-failure -j"$(nproc)" "$@"
+if [[ $mode == thread && $# -eq 0 ]]; then
+  ctest --output-on-failure -j"$(nproc)" \
+    -R 'Parallel|BemCache|Gemm|Lu\.|Cholesky|DirectSolver'
+else
+  ctest --output-on-failure -j"$(nproc)" "$@"
+fi
