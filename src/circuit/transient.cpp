@@ -436,7 +436,17 @@ TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt
     };
     record();
 
-    const std::size_t steps = static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt));
+    // Step count covering [0, tstop]: ceil(tstop/dt), except that when tstop
+    // is an exact multiple of dt the quotient may land a hair above the
+    // integer (1e-8/1e-9 = 10.000000000000002) and ceil would append a step
+    // past tstop. Snap to the nearest integer when within a relative ulp-scale
+    // tolerance of it.
+    const double ratio = opt.tstop / opt.dt;
+    const double nearest = std::round(ratio);
+    const std::size_t steps = static_cast<std::size_t>(
+        (nearest > 0 && std::abs(ratio - nearest) <= 1e-9 * nearest)
+            ? nearest
+            : std::ceil(ratio));
     for (std::size_t s = 1; s <= steps; ++s) {
         stepper.step();
         record();

@@ -71,132 +71,8 @@ double cell_average(const Rect& r, const QuadratureRule& rule, F&& f) {
     return 0.25 * s; // Gauss weights sum to 2 per axis; /4 yields the average
 }
 
-// ---------------------------------------------------------------------------
-// Translation-invariant interaction cache.
-//
-// Every Green's kind in greens.hpp depends on the observation point only
-// through the in-plane displacement obs − src_center (the z arguments enter
-// separately), so two element pairs with equal displacement, equal element
-// shapes, and equal (z, z') produce equal matrix entries. A family of
-// congruent elements whose centers sit on one integer lattice therefore
-// needs one kernel evaluation per *distinct lattice offset and z-pair*
-// instead of one per element pair.
-
-// Integer-lattice description of one congruent element family.
-struct Lattice {
-    bool uniform = false;
-    double sx = 0, sy = 0;        // lattice spacing = element dims [m]
-    std::vector<long> ix, iy;     // integer coords per element
-    std::vector<int> zid;         // per-element index into zs
-    std::vector<double> zs;       // distinct element heights
-    long span_x = 0, span_y = 0;  // max |ix_i − ix_j|, |iy_i − iy_j|
-
-    /// Kernel evaluations a cached fill performs (full offset × z-pair box).
-    std::size_t table_entries() const {
-        return static_cast<std::size_t>(2 * span_x + 1) *
-               static_cast<std::size_t>(2 * span_y + 1) * zs.size() * zs.size();
-    }
-};
-
-// Relative tolerance for element congruence (sizes differ only by rounding
-// of bbox/pitch arithmetic, ~1e-14) and for lattice integrality of the
-// center coordinates. Anything that deviates more is genuinely non-uniform
-// and must take the direct path — a pair accepted here is reconstructed from
-// the lattice to the same accuracy.
-constexpr double kCongruenceTol = 1e-9;
-
-// Detect whether `count` elements with centers c(e), sizes (w(e), h(e)) and
-// heights z(e) form a uniform family: all sizes equal and all centers on an
-// integer lattice with spacing equal to the element size.
-template <class CenterF, class SizeF, class ZF>
-Lattice detect_lattice(std::size_t count, CenterF&& center, SizeF&& size,
-                       ZF&& z) {
-    Lattice lat;
-    if (count == 0) {
-        lat.uniform = true;
-        return lat;
-    }
-    const auto [w0, h0] = size(0);
-    if (w0 <= 0 || h0 <= 0) return lat;
-    for (std::size_t e = 0; e < count; ++e) {
-        const auto [w, h] = size(e);
-        if (std::abs(w - w0) > kCongruenceTol * w0 ||
-            std::abs(h - h0) > kCongruenceTol * h0)
-            return lat;
-    }
-    const Point2 anchor = center(0);
-    lat.ix.resize(count);
-    lat.iy.resize(count);
-    lat.zid.resize(count);
-    for (std::size_t e = 0; e < count; ++e) {
-        const Point2 c = center(e);
-        const double tx = (c.x - anchor.x) / w0;
-        const double ty = (c.y - anchor.y) / h0;
-        const double rx = std::round(tx), ry = std::round(ty);
-        if (std::abs(tx - rx) > kCongruenceTol || std::abs(ty - ry) > kCongruenceTol)
-            return lat;
-        lat.ix[e] = static_cast<long>(rx);
-        lat.iy[e] = static_cast<long>(ry);
-        const double ze = z(e);
-        std::size_t zi = 0;
-        while (zi < lat.zs.size() && lat.zs[zi] != ze) ++zi;
-        if (zi == lat.zs.size()) lat.zs.push_back(ze);
-        lat.zid[e] = static_cast<int>(zi);
-    }
-    const auto [ixmin, ixmax] = std::minmax_element(lat.ix.begin(), lat.ix.end());
-    const auto [iymin, iymax] = std::minmax_element(lat.iy.begin(), lat.iy.end());
-    lat.span_x = *ixmax - *ixmin;
-    lat.span_y = *iymax - *iymin;
-    lat.sx = w0;
-    lat.sy = h0;
-    lat.uniform = true;
-    return lat;
-}
-
-// Evaluate the offset table for a lattice: entry(di, dj, z_obs, z_src) for
-// every offset in [-span, span]² and every ordered z pair, parallel over
-// entries. Indexing matches table_index below.
-template <class EntryF>
-std::vector<double> build_table(const Lattice& lat, EntryF&& entry) {
-    const long w = 2 * lat.span_x + 1, h = 2 * lat.span_y + 1;
-    const std::size_t nz = lat.zs.size();
-    std::vector<double> table(static_cast<std::size_t>(w) * h * nz * nz);
-    par::parallel_for_chunked(
-        table.size(), 0, [&](std::size_t b, std::size_t e) {
-            for (std::size_t idx = b; idx < e; ++idx) {
-                std::size_t rest = idx;
-                const long di = static_cast<long>(rest % w) - lat.span_x;
-                rest /= w;
-                const long dj = static_cast<long>(rest % h) - lat.span_y;
-                rest /= h;
-                const std::size_t zo = rest % nz;
-                const std::size_t zsrc = rest / nz;
-                table[idx] = entry(di, dj, lat.zs[zo], lat.zs[zsrc]);
-            }
-        });
-    return table;
-}
-
-std::size_t table_index(const Lattice& lat, std::size_t obs, std::size_t src) {
-    const long w = 2 * lat.span_x + 1, h = 2 * lat.span_y + 1;
-    const std::size_t nz = lat.zs.size();
-    const std::size_t di =
-        static_cast<std::size_t>(lat.ix[obs] - lat.ix[src] + lat.span_x);
-    const std::size_t dj =
-        static_cast<std::size_t>(lat.iy[obs] - lat.iy[src] + lat.span_y);
-    return ((static_cast<std::size_t>(lat.zid[src]) * nz +
-             static_cast<std::size_t>(lat.zid[obs])) *
-                static_cast<std::size_t>(h) +
-            dj) *
-               static_cast<std::size_t>(w) +
-        di;
-}
-
-// Whether a cached fill is worthwhile: the table must be cheaper to evaluate
-// than the direct triangular fill it replaces.
-bool cache_profitable(const Lattice& lat, std::size_t direct_evals) {
-    return lat.uniform && lat.table_entries() < direct_evals;
-}
+// The translation-invariant interaction lattice/table machinery lives in
+// em/interaction_lattice.hpp, shared with the block-Toeplitz operators.
 
 obs::Counter& cached_fill_counter() {
     static obs::Counter& c = obs::counter("bem.assembly.cached_fills");
@@ -222,11 +98,7 @@ void PlaneBem::assemble_potential() const {
     const QuadratureRule& grule = gauss_legendre(options_.galerkin_order);
 
     Lattice lat;
-    if (options_.assembly != AssemblyMode::Direct)
-        lat = detect_lattice(
-            n, [&](std::size_t e) { return nodes[e].center; },
-            [&](std::size_t e) { return std::pair{nodes[e].dx, nodes[e].dy}; },
-            [&](std::size_t e) { return nodes[e].z; });
+    if (options_.assembly != AssemblyMode::Direct) lat = node_lattice();
     if (options_.assembly == AssemblyMode::Cached)
         PGSI_REQUIRE(lat.uniform,
                      "AssemblyMode::Cached requires a uniform-pitch mesh "
@@ -236,31 +108,13 @@ void PlaneBem::assemble_potential() const {
                          cache_profitable(lat, n * (n + 1) / 2));
 
     if (cached) {
-        PGSI_TRACE_SCOPE("bem.fill.potential.table");
-        const double sx = lat.sx, sy = lat.sy;
-        const Rect src{-0.5 * sx, 0.5 * sx, -0.5 * sy, 0.5 * sy};
-        const double inv_area = 1.0 / (sx * sy);
-        const std::vector<double> table = build_table(
-            lat, [&](long di, long dj, double zo, double zs) {
-                const Point2 obs{static_cast<double>(di) * sx,
-                                 static_cast<double>(dj) * sy};
-                if (options_.testing == Testing::PointMatching)
-                    return greens_.phi_integral(obs, zo, src, zs) * inv_area;
-                const Rect obsr{obs.x - 0.5 * sx, obs.x + 0.5 * sx,
-                                obs.y - 0.5 * sy, obs.y + 0.5 * sy};
-                return cell_average(obsr, grule, [&](Point2 q) {
-                           return greens_.phi_integral(q, zo, src, zs);
-                       }) *
-                    inv_area;
-            });
+        const std::vector<double>& table = potential_table();
         par::parallel_for(n, [&](std::size_t j) {
             for (std::size_t i = j; i < n; ++i)
                 p(i, j) = table[table_index(lat, i, j)];
         });
         stats_.potential_cached = true;
-        stats_.cache_entries += table.size();
         ++cached_fill_counter();
-        cache_entry_counter().add(table.size());
     } else {
         // Column-parallel: each worker owns whole columns, so writes never
         // race (the symmetric mirror below runs after the fill).
@@ -322,26 +176,15 @@ void PlaneBem::assemble_inductance() const {
 
     // x- and y-directed current cells are two separate congruent families
     // (and do not couple to each other), each with its own lattice/table.
-    std::vector<std::size_t> of_dir[2];
-    for (std::size_t b = 0; b < m; ++b)
-        of_dir[branches[b].dir == BranchDir::Y].push_back(b);
-
-    Lattice lat[2];
-    bool uniform = options_.assembly != AssemblyMode::Direct;
+    bool uniform = false;
     std::size_t entries = 0, direct_evals = 0;
-    for (int d = 0; d < 2 && uniform; ++d) {
-        const auto& idx = of_dir[d];
-        lat[d] = detect_lattice(
-            idx.size(),
-            [&](std::size_t e) { return branch_rect(branches[idx[e]]).center(); },
-            [&](std::size_t e) {
-                const Rect r = branch_rect(branches[idx[e]]);
-                return std::pair{r.width(), r.height()};
-            },
-            [&](std::size_t e) { return branches[idx[e]].z; });
-        uniform = lat[d].uniform;
-        if (!idx.empty()) entries += lat[d].table_entries();
-        direct_evals += idx.size() * (idx.size() + 1) / 2;
+    if (options_.assembly != AssemblyMode::Direct) {
+        const BranchFamilies& bf = branch_families();
+        uniform = bf.uniform;
+        for (int d = 0; d < 2; ++d) {
+            if (!bf.idx[d].empty()) entries += bf.lat[d].table_entries();
+            direct_evals += bf.idx[d].size() * (bf.idx[d].size() + 1) / 2;
+        }
     }
     if (options_.assembly == AssemblyMode::Cached)
         PGSI_REQUIRE(uniform,
@@ -353,34 +196,16 @@ void PlaneBem::assemble_inductance() const {
          entries < direct_evals);
 
     if (cached) {
-        PGSI_TRACE_SCOPE("bem.fill.inductance.table");
+        const BranchFamilies& bf = branch_families();
         for (int d = 0; d < 2; ++d) {
-            const auto& idx = of_dir[d];
+            const auto& idx = bf.idx[d];
             if (idx.empty()) continue;
-            const Lattice& lg = lat[d];
-            const double sx = lg.sx, sy = lg.sy;
-            const Rect src{-0.5 * sx, 0.5 * sx, -0.5 * sy, 0.5 * sy};
-            // All cells in the family share one width (the current-transverse
-            // dimension), so the 1/(wa·wb) normalization is constant.
-            const double wdir = d == 0 ? sy : sx;
-            const double scale = (sx * sy) / (wdir * wdir);
-            const std::vector<double> table = build_table(
-                lg, [&](long di, long dj, double zo, double zs) {
-                    const Rect obs{static_cast<double>(di) * sx - 0.5 * sx,
-                                   static_cast<double>(di) * sx + 0.5 * sx,
-                                   static_cast<double>(dj) * sy - 0.5 * sy,
-                                   static_cast<double>(dj) * sy + 0.5 * sy};
-                    return cell_average(obs, lrule, [&](Point2 q) {
-                               return greens_.a_integral(q, zo, src, zs);
-                           }) *
-                        scale;
-                });
+            const Lattice& lg = bf.lat[d];
+            const std::vector<double>& table = inductance_table(d);
             par::parallel_for(idx.size(), [&](std::size_t jj) {
                 for (std::size_t ii = jj; ii < idx.size(); ++ii)
                     l(idx[ii], idx[jj]) = table[table_index(lg, ii, jj)];
             });
-            stats_.cache_entries += table.size();
-            cache_entry_counter().add(table.size());
         }
         stats_.inductance_cached = true;
         ++cached_fill_counter();
@@ -495,6 +320,146 @@ const MatrixD& PlaneBem::dc_conductance() const {
         gdc_ = std::move(g);
     }
     return *gdc_;
+}
+
+const Lattice& PlaneBem::node_lattice() const {
+    if (!node_lat_) {
+        const auto& nodes = mesh_.nodes();
+        node_lat_ = detect_lattice(
+            nodes.size(), [&](std::size_t e) { return nodes[e].center; },
+            [&](std::size_t e) { return std::pair{nodes[e].dx, nodes[e].dy}; },
+            [&](std::size_t e) { return nodes[e].z; });
+    }
+    return *node_lat_;
+}
+
+const PlaneBem::BranchFamilies& PlaneBem::branch_families() const {
+    if (!branch_fam_) {
+        const auto& branches = mesh_.branches();
+        BranchFamilies bf;
+        for (std::size_t b = 0; b < branches.size(); ++b)
+            bf.idx[branches[b].dir == BranchDir::Y].push_back(b);
+        bf.uniform = true;
+        for (int d = 0; d < 2; ++d) {
+            const auto& idx = bf.idx[d];
+            bf.lat[d] = detect_lattice(
+                idx.size(),
+                [&](std::size_t e) {
+                    return branch_rect(branches[idx[e]]).center();
+                },
+                [&](std::size_t e) {
+                    const Rect r = branch_rect(branches[idx[e]]);
+                    return std::pair{r.width(), r.height()};
+                },
+                [&](std::size_t e) { return branches[idx[e]].z; });
+            bf.uniform = bf.uniform && bf.lat[d].uniform;
+        }
+        branch_fam_ = std::move(bf);
+    }
+    return *branch_fam_;
+}
+
+const std::vector<double>& PlaneBem::potential_table() const {
+    if (!ptable_) {
+        const Lattice& lat = node_lattice();
+        PGSI_REQUIRE(lat.uniform,
+                     "potential_table requires a uniform-pitch mesh");
+        PGSI_TRACE_SCOPE("bem.fill.potential.table");
+        const QuadratureRule& grule = gauss_legendre(options_.galerkin_order);
+        const double sx = lat.sx, sy = lat.sy;
+        const Rect src{-0.5 * sx, 0.5 * sx, -0.5 * sy, 0.5 * sy};
+        const double inv_area = 1.0 / (sx * sy);
+        std::vector<double> table = build_interaction_table(
+            lat, [&](long di, long dj, double zo, double zs) {
+                const Point2 obs{static_cast<double>(di) * sx,
+                                 static_cast<double>(dj) * sy};
+                if (options_.testing == Testing::PointMatching)
+                    return greens_.phi_integral(obs, zo, src, zs) * inv_area;
+                const Rect obsr{obs.x - 0.5 * sx, obs.x + 0.5 * sx,
+                                obs.y - 0.5 * sy, obs.y + 0.5 * sy};
+                return cell_average(obsr, grule, [&](Point2 q) {
+                           return greens_.phi_integral(q, zo, src, zs);
+                       }) *
+                    inv_area;
+            });
+        stats_.cache_entries += table.size();
+        cache_entry_counter().add(table.size());
+        ptable_ = std::move(table);
+    }
+    return *ptable_;
+}
+
+const std::vector<double>& PlaneBem::inductance_table(int d) const {
+    if (!ltable_[d]) {
+        const BranchFamilies& bf = branch_families();
+        const Lattice& lg = bf.lat[d];
+        PGSI_REQUIRE(lg.uniform,
+                     "inductance_table requires a uniform-pitch mesh");
+        PGSI_TRACE_SCOPE("bem.fill.inductance.table");
+        const QuadratureRule& lrule = gauss_legendre(options_.l_quad_order);
+        const double sx = lg.sx, sy = lg.sy;
+        const Rect src{-0.5 * sx, 0.5 * sx, -0.5 * sy, 0.5 * sy};
+        // All cells in the family share one width (the current-transverse
+        // dimension), so the 1/(wa·wb) normalization is constant.
+        const double wdir = d == 0 ? sy : sx;
+        const double scale = (sx * sy) / (wdir * wdir);
+        std::vector<double> table = build_interaction_table(
+            lg, [&](long di, long dj, double zo, double zs) {
+                const Rect obs{static_cast<double>(di) * sx - 0.5 * sx,
+                               static_cast<double>(di) * sx + 0.5 * sx,
+                               static_cast<double>(dj) * sy - 0.5 * sy,
+                               static_cast<double>(dj) * sy + 0.5 * sy};
+                return cell_average(obs, lrule, [&](Point2 q) {
+                           return greens_.a_integral(q, zo, src, zs);
+                       }) *
+                    scale;
+            });
+        stats_.cache_entries += table.size();
+        cache_entry_counter().add(table.size());
+        ltable_[d] = std::move(table);
+    }
+    return *ltable_[d];
+}
+
+bool PlaneBem::uniform_lattice() const {
+    return node_lattice().uniform && branch_families().uniform;
+}
+
+const InteractionOperator& PlaneBem::potential_operator() const {
+    if (!pop_) {
+        const std::size_t n = mesh_.node_count();
+        if (options_.assembly != AssemblyMode::Direct && uniform_lattice()) {
+            std::vector<ToeplitzFamily> fams;
+            fams.emplace_back(node_lattice(), potential_table());
+            std::vector<std::size_t> ident(n);
+            for (std::size_t i = 0; i < n; ++i) ident[i] = i;
+            pop_ = InteractionOperator::toeplitz(std::move(fams), {std::move(ident)}, n);
+        } else {
+            pop_ = InteractionOperator::dense(&potential_matrix());
+        }
+    }
+    return *pop_;
+}
+
+const InteractionOperator& PlaneBem::inductance_operator() const {
+    if (!lop_) {
+        const std::size_t m = mesh_.branch_count();
+        if (options_.assembly != AssemblyMode::Direct && uniform_lattice()) {
+            const BranchFamilies& bf = branch_families();
+            std::vector<ToeplitzFamily> fams;
+            std::vector<std::vector<std::size_t>> idx;
+            for (int d = 0; d < 2; ++d) {
+                fams.emplace_back(bf.lat[d], bf.idx[d].empty()
+                                                 ? std::vector<double>{}
+                                                 : inductance_table(d));
+                idx.push_back(bf.idx[d]);
+            }
+            lop_ = InteractionOperator::toeplitz(std::move(fams), std::move(idx), m);
+        } else {
+            lop_ = InteractionOperator::dense(&inductance_matrix());
+        }
+    }
+    return *lop_;
 }
 
 } // namespace pgsi

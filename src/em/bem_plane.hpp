@@ -21,10 +21,13 @@
 // functions — more accurate and stable at higher assembly cost).
 #pragma once
 
+#include <array>
 #include <optional>
+#include <vector>
 
 #include "em/greens.hpp"
 #include "em/surface_impedance.hpp"
+#include "em/toeplitz_operator.hpp"
 #include "geometry/rectmesh.hpp"
 #include "numeric/matrix.hpp"
 
@@ -112,10 +115,32 @@ public:
     /// sheet (nonzero sheet resistance on every meshed shape).
     const MatrixD& dc_conductance() const;
 
+    /// Whether every element family (charge cells plus both current-cell
+    /// directions) sits on a uniform integer lattice — the structural
+    /// precondition for the matrix-free block-Toeplitz operators.
+    bool uniform_lattice() const;
+
+    /// Applier of Ppot behind the InteractionOperator interface: FFT-based
+    /// matrix-free when uniform_lattice() and the assembly mode is not
+    /// Direct, dense fallback (forcing the Ppot fill) otherwise.
+    const InteractionOperator& potential_operator() const;
+
+    /// Applier of L (same policy as potential_operator()). The two branch
+    /// directions form separate Toeplitz families; cross-direction entries
+    /// are structurally zero.
+    const InteractionOperator& inductance_operator() const;
+
     /// Per-stage assembly wall times observed so far.
     const BemAssemblyStats& stats() const { return stats_; }
 
 private:
+    /// Branch indices and lattices of the two current-cell directions.
+    struct BranchFamilies {
+        std::array<std::vector<std::size_t>, 2> idx; ///< global branch ids
+        std::array<Lattice, 2> lat;
+        bool uniform = false;
+    };
+
     RectMesh mesh_;
     Greens greens_;
     BemOptions options_;
@@ -126,10 +151,20 @@ private:
     mutable std::optional<VectorD> rbranch_;
     mutable std::optional<MatrixD> gamma_;
     mutable std::optional<MatrixD> gdc_;
+    mutable std::optional<Lattice> node_lat_;
+    mutable std::optional<BranchFamilies> branch_fam_;
+    mutable std::optional<std::vector<double>> ptable_;
+    mutable std::optional<std::vector<double>> ltable_[2];
+    mutable std::optional<InteractionOperator> pop_;
+    mutable std::optional<InteractionOperator> lop_;
     mutable BemAssemblyStats stats_;
 
     void assemble_potential() const;
     void assemble_inductance() const;
+    const Lattice& node_lattice() const;
+    const BranchFamilies& branch_families() const;
+    const std::vector<double>& potential_table() const;
+    const std::vector<double>& inductance_table(int d) const;
 };
 
 } // namespace pgsi

@@ -1,0 +1,164 @@
+// Translation-invariant interaction lattices and displacement tables.
+//
+// Every quasi-static Green's kind in greens.hpp depends on the observation
+// point only through the in-plane displacement obs − src_center (the z
+// arguments enter separately), so two element pairs with equal displacement,
+// equal element shapes, and equal (z, z') produce equal matrix entries. A
+// family of congruent elements whose centers sit on one integer lattice
+// therefore needs one kernel evaluation per *distinct lattice offset and
+// z-pair* instead of one per element pair.
+//
+// This header carries the shared machinery: lattice detection, the offset
+// table build, and the pair → table-entry index map. Two consumers exist:
+// the cached dense fills in bem_plane.cpp (every matrix entry becomes a
+// table lookup) and the block-Toeplitz operators in toeplitz_operator.hpp
+// (the same table, circulant-embedded, applies the matrix in O(N log N)
+// without ever forming it).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "geometry/point2.hpp"
+
+namespace pgsi {
+
+/// Integer-lattice description of one congruent element family.
+struct Lattice {
+    bool uniform = false;
+    double sx = 0, sy = 0;        ///< lattice spacing = element dims [m]
+    std::vector<long> ix, iy;     ///< integer coords per element
+    std::vector<int> zid;         ///< per-element index into zs
+    std::vector<double> zs;       ///< distinct element heights
+    long span_x = 0, span_y = 0;  ///< max |ix_i − ix_j|, |iy_i − iy_j|
+    long min_x = 0, min_y = 0;    ///< smallest integer coords in the family
+
+    std::size_t count() const { return ix.size(); }
+
+    /// Kernel evaluations a cached fill performs (full offset × z-pair box).
+    std::size_t table_entries() const {
+        return static_cast<std::size_t>(2 * span_x + 1) *
+               static_cast<std::size_t>(2 * span_y + 1) * zs.size() * zs.size();
+    }
+};
+
+/// Relative tolerance for element congruence (sizes differ only by rounding
+/// of bbox/pitch arithmetic, ~1e-14) and for lattice integrality of the
+/// center coordinates. Anything that deviates more is genuinely non-uniform
+/// and must take the direct path — a pair accepted here is reconstructed
+/// from the lattice to the same accuracy.
+inline constexpr double kCongruenceTol = 1e-9;
+
+/// Detect whether `count` elements with centers c(e), sizes (w(e), h(e)) and
+/// heights z(e) form a uniform family: all sizes equal and all centers on an
+/// integer lattice with spacing equal to the element size.
+template <class CenterF, class SizeF, class ZF>
+Lattice detect_lattice(std::size_t count, CenterF&& center, SizeF&& size,
+                       ZF&& z) {
+    Lattice lat;
+    if (count == 0) {
+        lat.uniform = true;
+        return lat;
+    }
+    const auto [w0, h0] = size(0);
+    if (w0 <= 0 || h0 <= 0) return lat;
+    for (std::size_t e = 0; e < count; ++e) {
+        const auto [w, h] = size(e);
+        if (std::abs(w - w0) > kCongruenceTol * w0 ||
+            std::abs(h - h0) > kCongruenceTol * h0)
+            return lat;
+    }
+    const Point2 anchor = center(0);
+    lat.ix.resize(count);
+    lat.iy.resize(count);
+    lat.zid.resize(count);
+    for (std::size_t e = 0; e < count; ++e) {
+        const Point2 c = center(e);
+        const double tx = (c.x - anchor.x) / w0;
+        const double ty = (c.y - anchor.y) / h0;
+        const double rx = std::round(tx), ry = std::round(ty);
+        if (std::abs(tx - rx) > kCongruenceTol || std::abs(ty - ry) > kCongruenceTol)
+            return lat;
+        lat.ix[e] = static_cast<long>(rx);
+        lat.iy[e] = static_cast<long>(ry);
+        const double ze = z(e);
+        std::size_t zi = 0;
+        while (zi < lat.zs.size() && lat.zs[zi] != ze) ++zi;
+        if (zi == lat.zs.size()) lat.zs.push_back(ze);
+        lat.zid[e] = static_cast<int>(zi);
+    }
+    const auto [ixmin, ixmax] = std::minmax_element(lat.ix.begin(), lat.ix.end());
+    const auto [iymin, iymax] = std::minmax_element(lat.iy.begin(), lat.iy.end());
+    lat.span_x = *ixmax - *ixmin;
+    lat.span_y = *iymax - *iymin;
+    lat.min_x = *ixmin;
+    lat.min_y = *iymin;
+    lat.sx = w0;
+    lat.sy = h0;
+    lat.uniform = true;
+    return lat;
+}
+
+/// Evaluate the offset table for a lattice: entry(di, dj, z_obs, z_src) for
+/// every offset in [-span, span]² and every ordered z pair, parallel over
+/// entries. Indexing matches table_index below.
+template <class EntryF>
+std::vector<double> build_interaction_table(const Lattice& lat, EntryF&& entry) {
+    const long w = 2 * lat.span_x + 1, h = 2 * lat.span_y + 1;
+    const std::size_t nz = lat.zs.size();
+    std::vector<double> table(static_cast<std::size_t>(w) * h * nz * nz);
+    par::parallel_for_chunked(
+        table.size(), 0, [&](std::size_t b, std::size_t e) {
+            for (std::size_t idx = b; idx < e; ++idx) {
+                std::size_t rest = idx;
+                const long di = static_cast<long>(rest % w) - lat.span_x;
+                rest /= w;
+                const long dj = static_cast<long>(rest % h) - lat.span_y;
+                rest /= h;
+                const std::size_t zo = rest % nz;
+                const std::size_t zsrc = rest / nz;
+                table[idx] = entry(di, dj, lat.zs[zo], lat.zs[zsrc]);
+            }
+        });
+    return table;
+}
+
+/// Table slot of the (obs, src) element pair.
+inline std::size_t table_index(const Lattice& lat, std::size_t obs,
+                               std::size_t src) {
+    const long w = 2 * lat.span_x + 1, h = 2 * lat.span_y + 1;
+    const std::size_t nz = lat.zs.size();
+    const std::size_t di =
+        static_cast<std::size_t>(lat.ix[obs] - lat.ix[src] + lat.span_x);
+    const std::size_t dj =
+        static_cast<std::size_t>(lat.iy[obs] - lat.iy[src] + lat.span_y);
+    return ((static_cast<std::size_t>(lat.zid[src]) * nz +
+             static_cast<std::size_t>(lat.zid[obs])) *
+                static_cast<std::size_t>(h) +
+            dj) *
+               static_cast<std::size_t>(w) +
+        di;
+}
+
+/// Table slot of a raw (displacement, z-layer pair) combination, with
+/// di ∈ [−span_x, span_x], dj ∈ [−span_y, span_y] and zo/zsrc layer ids.
+inline std::size_t table_offset_index(const Lattice& lat, long di, long dj,
+                                      std::size_t zo, std::size_t zsrc) {
+    const long w = 2 * lat.span_x + 1, h = 2 * lat.span_y + 1;
+    const std::size_t nz = lat.zs.size();
+    return ((zsrc * nz + zo) * static_cast<std::size_t>(h) +
+            static_cast<std::size_t>(dj + lat.span_y)) *
+               static_cast<std::size_t>(w) +
+        static_cast<std::size_t>(di + lat.span_x);
+}
+
+/// Whether a cached fill is worthwhile: the table must be cheaper to
+/// evaluate than the direct triangular fill it replaces.
+inline bool cache_profitable(const Lattice& lat, std::size_t direct_evals) {
+    return lat.uniform && lat.table_entries() < direct_evals;
+}
+
+} // namespace pgsi

@@ -1,0 +1,252 @@
+#include "em/iterative_solver.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pgsi {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+IterativeSolver::IterativeSolver(const PlaneBem& bem, SurfaceImpedance zs,
+                                 SolverOptions options)
+    : bem_(bem), zs_(zs), options_(options) {
+    PGSI_REQUIRE(options_.precond_tile_cells >= 1,
+                 "SolverOptions: precond_tile_cells must be >= 1");
+    PGSI_REQUIRE(options_.fail_tol > 0, "SolverOptions: fail_tol must be positive");
+}
+
+void IterativeSolver::ensure_setup() const {
+    if (setup_done_) return;
+    PGSI_TRACE_SCOPE("em.iterative.setup");
+    const auto t0 = std::chrono::steady_clock::now();
+    // Force the lazy operator builds (kernel spectra or dense fallbacks)
+    // before any solve fans out over the pool.
+    bem_.potential_operator();
+    bem_.inductance_operator();
+
+    const auto& branches = bem_.mesh().branches();
+    zs_scale_.resize(branches.size());
+    for (std::size_t b = 0; b < branches.size(); ++b)
+        zs_scale_[b] = branches[b].length() / branches[b].width();
+
+    if (options_.preconditioner == PreconditionerKind::NearFieldBlock) {
+        // Partition the current cells by midpoint into square geometric
+        // tiles. A tile mixes x- and y-directed cells on purpose: the local
+        // plaquette loop currents (the nullspace of the nodal term) only
+        // appear in blocks that couple both directions. std::map keeps the
+        // tile order deterministic.
+        const double tw =
+            static_cast<double>(options_.precond_tile_cells) * bem_.mesh().pitch();
+        std::map<std::pair<long, long>, std::vector<std::size_t>> groups;
+        for (std::size_t b = 0; b < branches.size(); ++b) {
+            const double mx = 0.5 * (branches[b].x0 + branches[b].x1);
+            const double my = 0.5 * (branches[b].y0 + branches[b].y1);
+            const std::pair<long, long> key{
+                static_cast<long>(std::floor(mx / tw)),
+                static_cast<long>(std::floor(my / tw))};
+            groups[key].push_back(b);
+        }
+        tiles_.clear();
+        tiles_.reserve(groups.size());
+        for (auto& [key, ids] : groups) tiles_.push_back(std::move(ids));
+    }
+    stats_.setup_seconds += seconds_since(t0);
+    setup_done_ = true;
+}
+
+MatrixC IterativeSolver::solve_ports(
+    double freq_hz, const std::vector<std::size_t>& port_nodes) const {
+    const double omega = 2.0 * pi * freq_hz;
+    const Complex jw(0.0, omega);
+    const Complex inv_jw = 1.0 / jw;
+
+    const InteractionOperator& pop = bem_.potential_operator();
+    const InteractionOperator& lop = bem_.inductance_operator();
+    const auto& branches = bem_.mesh().branches();
+    const std::size_t m = branches.size();
+    const std::size_t n = bem_.node_count();
+    const std::size_t p = port_nodes.size();
+
+    const Complex zsv = zs_.at(omega);
+    VectorC zsb(m);
+    for (std::size_t b = 0; b < m; ++b) zsb[b] = zsv * zs_scale_[b];
+
+    // A x = Zs.x + jw (L x) + (1/jw) P Ppot Pᵀ x, all through the operators.
+    VectorC tnode(n), unode(n), wbr(m);
+    const LinearOpC apply = [&](const VectorC& x, VectorC& y) {
+        std::fill(tnode.begin(), tnode.end(), Complex{});
+        for (std::size_t b = 0; b < m; ++b) {
+            tnode[branches[b].n1] += x[b];
+            tnode[branches[b].n2] -= x[b];
+        }
+        pop.apply(tnode, unode);
+        lop.apply(x, wbr);
+        y.resize(m);
+        for (std::size_t b = 0; b < m; ++b)
+            y[b] = zsb[b] * x[b] + jw * wbr[b] +
+                   inv_jw * (unode[branches[b].n1] - unode[branches[b].n2]);
+    };
+
+    // Exact A entries for the preconditioner blocks, via the operators'
+    // displacement-table lookups (no dense matrix is ever formed).
+    auto s_entry = [&](std::size_t a, std::size_t b) {
+        return pop.entry(branches[a].n1, branches[b].n1) -
+               pop.entry(branches[a].n1, branches[b].n2) -
+               pop.entry(branches[a].n2, branches[b].n1) +
+               pop.entry(branches[a].n2, branches[b].n2);
+    };
+    auto a_entry = [&](std::size_t a, std::size_t b) {
+        Complex v = jw * lop.entry(a, b) + inv_jw * s_entry(a, b);
+        if (a == b) v += zsb[a];
+        return v;
+    };
+
+    LinearOpC precond;
+    std::vector<std::unique_ptr<const Lu<Complex>>> tile_lu;
+    VectorC dinv;
+    if (options_.preconditioner == PreconditionerKind::NearFieldBlock) {
+        tile_lu.resize(tiles_.size());
+        par::parallel_for(tiles_.size(), [&](std::size_t ti) {
+            const auto& ids = tiles_[ti];
+            MatrixC blk(ids.size(), ids.size());
+            for (std::size_t r = 0; r < ids.size(); ++r)
+                for (std::size_t c = 0; c < ids.size(); ++c)
+                    blk(r, c) = a_entry(ids[r], ids[c]);
+            tile_lu[ti] = std::make_unique<const Lu<Complex>>(std::move(blk));
+        });
+        precond = [&](const VectorC& x, VectorC& y) {
+            y.resize(m); // every branch belongs to exactly one tile
+            par::parallel_for(tiles_.size(), [&](std::size_t ti) {
+                const auto& ids = tiles_[ti];
+                VectorC rhs(ids.size());
+                for (std::size_t r = 0; r < ids.size(); ++r) rhs[r] = x[ids[r]];
+                const VectorC sol = tile_lu[ti]->solve(rhs);
+                for (std::size_t r = 0; r < ids.size(); ++r) y[ids[r]] = sol[r];
+            });
+        };
+    } else {
+        dinv.resize(m);
+        for (std::size_t b = 0; b < m; ++b) dinv[b] = 1.0 / a_entry(b, b);
+        precond = [&](const VectorC& x, VectorC& y) {
+            y.resize(m);
+            for (std::size_t b = 0; b < m; ++b) y[b] = dinv[b] * x[b];
+        };
+    }
+
+    MatrixC z(p, p);
+    std::size_t iters = 0, matvecs = 0, restarts = 0;
+    double worst = 0;
+    for (std::size_t k = 0; k < p; ++k) {
+        // b = (1/jw) P Ppot e_port — the port's unit current injection.
+        std::fill(tnode.begin(), tnode.end(), Complex{});
+        tnode[port_nodes[k]] = Complex(1.0, 0.0);
+        pop.apply(tnode, unode);
+        VectorC rhs(m);
+        for (std::size_t b = 0; b < m; ++b)
+            rhs[b] = inv_jw * (unode[branches[b].n1] - unode[branches[b].n2]);
+
+        VectorC cur(m, Complex{});
+        const GmresResult gr =
+            gmres(apply, rhs, cur, options_.gmres, precond);
+        iters += gr.iterations;
+        matvecs += gr.matvecs;
+        restarts += gr.restarts;
+        worst = std::max(worst, gr.residual);
+        if (gr.residual > options_.fail_tol)
+            throw NumericalError(
+                "IterativeSolver: GMRES stalled at relative residual " +
+                std::to_string(gr.residual) + " (fail_tol " +
+                std::to_string(options_.fail_tol) + ") at f = " +
+                std::to_string(freq_hz) + " Hz, port node " +
+                std::to_string(port_nodes[k]));
+
+        // V = (1/jw) Ppot (J − Pᵀ I); Z(q, k) = V at port q.
+        std::fill(tnode.begin(), tnode.end(), Complex{});
+        tnode[port_nodes[k]] = Complex(1.0, 0.0);
+        for (std::size_t b = 0; b < m; ++b) {
+            tnode[branches[b].n1] -= cur[b];
+            tnode[branches[b].n2] += cur[b];
+        }
+        pop.apply(tnode, unode);
+        for (std::size_t q = 0; q < p; ++q)
+            z(q, k) = inv_jw * unode[port_nodes[q]];
+    }
+    {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frequencies;
+        stats_.solves += p;
+        stats_.iterations += iters;
+        stats_.matvecs += matvecs;
+        stats_.restarts += restarts;
+        stats_.worst_residual = std::max(stats_.worst_residual, worst);
+    }
+    return z;
+}
+
+MatrixC IterativeSolver::port_impedance(
+    double freq_hz, const std::vector<std::size_t>& port_nodes) const {
+    PGSI_REQUIRE(freq_hz > 0, "IterativeSolver: frequency must be positive");
+    PGSI_REQUIRE(!port_nodes.empty(), "IterativeSolver: no port nodes given");
+    for (const std::size_t node : port_nodes)
+        PGSI_REQUIRE(node < bem_.node_count(),
+                     "IterativeSolver: port node out of range");
+    PGSI_TRACE_SCOPE("em.solve.port_impedance_iterative");
+    ensure_setup();
+    const auto t0 = std::chrono::steady_clock::now();
+    MatrixC z = solve_ports(freq_hz, port_nodes);
+    const double dt = seconds_since(t0);
+    {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.solve_seconds += dt;
+    }
+    return z;
+}
+
+std::vector<MatrixC> IterativeSolver::sweep_impedance(
+    const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
+    PGSI_TRACE_SCOPE("em.solve.sweep");
+    // Build the operators and tile partition once, then fan the independent
+    // frequency points out over the pool; the FFT/GMRES kernels run inline
+    // inside pool workers (the sweep level owns the parallelism).
+    ensure_setup();
+    std::vector<MatrixC> out(freqs_hz.size());
+    par::parallel_for(freqs_hz.size(), [&](std::size_t i) {
+        out[i] = port_impedance(freqs_hz[i], port_nodes);
+    });
+    return out;
+}
+
+std::unique_ptr<PlaneSolver> make_solver(const PlaneBem& bem,
+                                         SurfaceImpedance zs,
+                                         const SolverOptions& options) {
+    SolverBackend backend = options.backend;
+    if (backend == SolverBackend::Auto) {
+        const bool matrix_free =
+            bem.options().assembly != AssemblyMode::Direct && bem.uniform_lattice();
+        backend = (matrix_free && bem.node_count() >= options.auto_node_threshold)
+                      ? SolverBackend::Iterative
+                      : SolverBackend::Direct;
+    }
+    if (backend == SolverBackend::Iterative)
+        return std::make_unique<IterativeSolver>(bem, zs, options);
+    return std::make_unique<DirectSolver>(bem, zs);
+}
+
+} // namespace pgsi

@@ -35,10 +35,14 @@ double corner(double u, double v, double z) {
 } // namespace
 
 double rect_inv_r_integral(Point2 p, const Rect& r, double z) {
+    // The integrand depends on z only through z^2, but the corner
+    // antiderivative's atan2 term assumes z >= 0: feed it |z| so observation
+    // points below the source plane get the same (even) value as above it.
+    const double az = std::abs(z);
     const double u0 = r.x0 - p.x, u1 = r.x1 - p.x;
     const double v0 = r.y0 - p.y, v1 = r.y1 - p.y;
-    return corner(u1, v1, z) - corner(u0, v1, z) - corner(u1, v0, z) +
-           corner(u0, v0, z);
+    return corner(u1, v1, az) - corner(u0, v1, az) - corner(u1, v0, az) +
+           corner(u0, v0, az);
 }
 
 double rect_inv_r_point_approx(Point2 p, const Rect& r, double z) {

@@ -105,16 +105,33 @@ MatrixC DirectSolver::port_impedance(
     PGSI_REQUIRE(!port_nodes.empty(), "DirectSolver: no port nodes given");
     PGSI_TRACE_SCOPE("em.solve.port_impedance");
     const MatrixC y = nodal_admittance(freq_hz);
-    const auto t0 = std::chrono::steady_clock::now();
-    const MatrixC zfull = Lu<Complex>(y).inverse();
+    const std::size_t n = y.rows();
+    const std::size_t p = port_nodes.size();
+    for (const std::size_t node : port_nodes)
+        PGSI_REQUIRE(node < n, "DirectSolver: port node out of range");
+
+    // Only the port columns of Y⁻¹ are observable: solve Y X = [e_p ...]
+    // (|ports| right-hand sides) instead of forming the full inverse, then
+    // read the port rows of X.
+    auto t0 = std::chrono::steady_clock::now();
+    const Lu<Complex> lu(y);
     const double factor_s = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    MatrixC rhs(n, p);
+    for (std::size_t k = 0; k < p; ++k) rhs(port_nodes[k], k) = Complex(1.0, 0.0);
+    const MatrixC cols = lu.solve(rhs);
+    MatrixC z(p, p);
+    for (std::size_t q = 0; q < p; ++q)
+        for (std::size_t k = 0; k < p; ++k) z(q, k) = cols(port_nodes[q], k);
+    const double solve_s = seconds_since(t0);
     {
         const std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.factor_seconds += factor_s;
+        stats_.solve_seconds += solve_s;
         ++stats_.factorizations;
-        stats_.solves += y.rows();
+        stats_.solves += p;
     }
-    return zfull.submatrix(port_nodes, port_nodes);
+    return z;
 }
 
 std::vector<MatrixC> DirectSolver::sweep_impedance(

@@ -8,12 +8,75 @@
 // is validated (the role the measurement and full-wave data play in §6.1).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "em/bem_plane.hpp"
+#include "numeric/gmres.hpp"
 
 namespace pgsi {
+
+/// Which frequency-domain solver implementation runs a sweep.
+enum class SolverBackend {
+    Auto,     ///< Iterative when the mesh supports the matrix-free operators
+              ///< and is large enough to profit; Direct otherwise
+    Direct,   ///< dense LU per frequency (reference path)
+    Iterative ///< FFT-accelerated matrix-free GMRES per port column
+};
+
+/// Preconditioner applied inside the iterative backend's GMRES.
+enum class PreconditionerKind {
+    Diagonal,      ///< Jacobi on the branch system (cheapest, weak)
+    NearFieldBlock ///< block-Jacobi over geometric tiles of current cells
+};
+
+/// Backend selection and iterative-path tuning knobs.
+struct SolverOptions {
+    SolverBackend backend = SolverBackend::Auto;
+    /// Auto picks Iterative at or above this many mesh nodes (when the mesh
+    /// is uniform-lattice and assembly is not Direct).
+    std::size_t auto_node_threshold = 400;
+    PreconditionerKind preconditioner = PreconditionerKind::NearFieldBlock;
+    /// Edge length of a near-field preconditioner tile, in mesh cells. Each
+    /// tile gathers the current cells whose midpoints fall in a square this
+    /// many pitches wide and factors their dense coupling block. Tiles must
+    /// be large enough to capture the local plaquette loop currents; below
+    /// ~8 cells the block approximation degrades visibly on stacked or
+    /// multi-island meshes.
+    std::size_t precond_tile_cells = 10;
+    GmresOptions gmres; ///< restart / iteration budget / target residual
+    /// An iterative solve whose final true relative residual exceeds this
+    /// raises NumericalError instead of returning a silently inaccurate Z.
+    double fail_tol = 1e-8;
+};
+
+/// Common interface of the frequency-domain plane solvers: Z-parameters at
+/// chosen mesh nodes, one frequency at a time or swept in parallel.
+class PlaneSolver {
+public:
+    virtual ~PlaneSolver() = default;
+
+    /// Short stable identifier ("direct" / "iterative") for logs and JSON.
+    virtual const char* backend_name() const = 0;
+
+    /// Impedance matrix seen at the given mesh nodes (all other nodes open).
+    virtual MatrixC port_impedance(
+        double freq_hz, const std::vector<std::size_t>& port_nodes) const = 0;
+
+    /// Z(f) for each frequency; points are independent solves and run in
+    /// parallel on the shared pgsi::par pool.
+    virtual std::vector<MatrixC> sweep_impedance(
+        const VectorD& freqs_hz,
+        const std::vector<std::size_t>& port_nodes) const = 0;
+};
+
+/// Construct the backend selected by `options` (resolving Auto against the
+/// mesh size and lattice structure). The PlaneBem and SurfaceImpedance must
+/// outlive the returned solver.
+std::unique_ptr<PlaneSolver> make_solver(const PlaneBem& bem,
+                                         SurfaceImpedance zs,
+                                         const SolverOptions& options = {});
 
 /// Cumulative telemetry of a DirectSolver across every frequency point it
 /// has processed (fill/factor/solve wall seconds plus work counts).
@@ -27,26 +90,32 @@ struct DirectSolverStats {
 };
 
 /// Direct sweep solver over an assembled PlaneBem.
-class DirectSolver {
+class DirectSolver : public PlaneSolver {
 public:
     /// zs: frequency-dependent surface impedance applied to all branches
     /// (scaled by each branch's length/width). Pass a default-constructed
     /// SurfaceImpedance for the lossless case.
     DirectSolver(const PlaneBem& bem, SurfaceImpedance zs);
 
+    const char* backend_name() const override { return "direct"; }
+
     /// Full N×N nodal admittance matrix Y(ω) = jωC + Pᵀ(Zs+jωL)⁻¹P.
     MatrixC nodal_admittance(double freq_hz) const;
 
     /// Impedance matrix seen at the given mesh nodes (all other nodes open):
-    /// the port submatrix of Y(ω)⁻¹.
-    MatrixC port_impedance(double freq_hz,
-                           const std::vector<std::size_t>& port_nodes) const;
+    /// the port columns of Y(ω)⁻¹ restricted to the port rows, computed by a
+    /// multi-RHS solve against the |ports| unit vectors (never the full
+    /// inverse).
+    MatrixC port_impedance(
+        double freq_hz,
+        const std::vector<std::size_t>& port_nodes) const override;
 
     /// Sweep: Z(f) for each frequency in freqs_hz. Frequency points are
     /// independent solves and run in parallel on the shared pgsi::par pool
     /// (the frequency-independent BEM matrices are assembled up front).
     std::vector<MatrixC> sweep_impedance(
-        const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const;
+        const VectorD& freqs_hz,
+        const std::vector<std::size_t>& port_nodes) const override;
 
     /// Telemetry accumulated over every call on this solver so far. Do not
     /// read while a sweep is in flight.

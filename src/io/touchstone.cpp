@@ -34,12 +34,18 @@ void write_touchstone(std::ostream& os, const VectorD& freqs_hz,
             os << " " << m(1, 0).real() << " " << m(1, 0).imag();
             os << " " << m(0, 1).real() << " " << m(0, 1).imag();
             os << " " << m(1, 1).real() << " " << m(1, 1).imag();
+            os << "\n";
         } else {
-            for (std::size_t r = 0; r < n; ++r)
-                for (std::size_t c = 0; c < n; ++c)
+            // The spec wraps n >= 3 records: each matrix row starts a new
+            // line, with at most four complex pairs per line.
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t c = 0; c < n; ++c) {
+                    if (c > 0 && c % 4 == 0) os << "\n";
                     os << " " << s[i](r, c).real() << " " << s[i](r, c).imag();
+                }
+                os << "\n";
+            }
         }
-        os << "\n";
     }
 }
 
@@ -125,7 +131,19 @@ TouchstoneData read_touchstone(const std::string& text, std::size_t ports) {
                 else if (t == "db") fmt = TsFormat::Db;
                 else if (t == "s") { /* parameter type */ }
                 else if (t == "r") {
-                    if (ls >> tok) out.z0 = std::stod(tok);
+                    PGSI_REQUIRE(static_cast<bool>(ls >> tok),
+                                 "read_touchstone: option line missing the "
+                                 "reference resistance after R: '" + line + "'");
+                    try {
+                        std::size_t used = 0;
+                        out.z0 = std::stod(tok, &used);
+                        if (used != tok.size())
+                            throw InvalidArgument("trailing characters");
+                    } catch (const std::exception&) {
+                        throw InvalidArgument(
+                            "read_touchstone: bad reference resistance '" +
+                            tok + "' in option line '" + line + "'");
+                    }
                 } else {
                     throw InvalidArgument("read_touchstone: bad option '" +
                                           tok + "'");

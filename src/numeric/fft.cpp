@@ -1,0 +1,169 @@
+#include "numeric/fft.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace pgsi {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// e^{-i pi k^2 / n} evaluated with the quadratic phase reduced mod 2n before
+// the multiply by pi/n: k^2 grows past the point where the raw product
+// pi*k^2/n keeps absolute accuracy, while k^2 mod 2n stays small and exact
+// (k^2 is an exact double well beyond any practical transform length).
+Complex chirp(std::size_t k, std::size_t n) {
+    const double k2 = std::fmod(static_cast<double>(k) * static_cast<double>(k),
+                                2.0 * static_cast<double>(n));
+    const double ang = -pi * k2 / static_cast<double>(n);
+    return Complex(std::cos(ang), std::sin(ang));
+}
+
+} // namespace
+
+struct Fft::Bluestein {
+    std::size_t m = 0;        // power-of-two convolution length >= 2n-1
+    Fft sub;                  // radix-2 plan of size m
+    VectorC a;                // a_k = e^{-i pi k^2/n}, k < n
+    VectorC bhat;             // forward transform of the chirp filter b
+
+    explicit Bluestein(std::size_t n)
+        : m(next_pow2(2 * n - 1)), sub(m), a(n), bhat(m) {
+        for (std::size_t k = 0; k < n; ++k) a[k] = chirp(k, n);
+        // b_j = conj(a_|j|) wrapped circularly: b[0..n-1] and b[m-j] = b[j].
+        for (std::size_t k = 0; k < n; ++k) {
+            const Complex b = std::conj(a[k]);
+            bhat[k] = b;
+            if (k > 0) bhat[m - k] = b;
+        }
+        sub.forward(bhat.data());
+    }
+};
+
+Fft::~Fft() = default;
+Fft::Fft(Fft&&) noexcept = default;
+Fft& Fft::operator=(Fft&&) noexcept = default;
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+    PGSI_REQUIRE(n >= 1, "Fft: transform length must be >= 1");
+    if (!is_pow2(n_)) {
+        blue_ = std::make_unique<const Bluestein>(n_);
+        return;
+    }
+    rev_.resize(n_);
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < n_) ++bits;
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::size_t r = 0;
+        for (std::size_t b = 0; b < bits; ++b)
+            if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+        rev_[i] = r;
+    }
+    tw_.resize(n_ / 2);
+    for (std::size_t k = 0; k < tw_.size(); ++k) {
+        const double ang = -2.0 * pi * static_cast<double>(k) / static_cast<double>(n_);
+        tw_[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+}
+
+void Fft::radix2_transform(Complex* x, bool inv) const {
+    const std::size_t n = n_;
+    for (std::size_t i = 0; i < n; ++i)
+        if (i < rev_[i]) std::swap(x[i], x[rev_[i]]);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len >> 1;
+        const std::size_t step = n / len;
+        for (std::size_t base = 0; base < n; base += len) {
+            for (std::size_t j = 0; j < half; ++j) {
+                const Complex w =
+                    inv ? std::conj(tw_[j * step]) : tw_[j * step];
+                const Complex u = x[base + j];
+                const Complex v = x[base + j + half] * w;
+                x[base + j] = u + v;
+                x[base + j + half] = u - v;
+            }
+        }
+    }
+}
+
+void Fft::bluestein_forward(Complex* x) const {
+    const Bluestein& bl = *blue_;
+    VectorC buf(bl.m, Complex{});
+    for (std::size_t k = 0; k < n_; ++k) buf[k] = x[k] * bl.a[k];
+    bl.sub.forward(buf.data());
+    for (std::size_t k = 0; k < bl.m; ++k) buf[k] *= bl.bhat[k];
+    bl.sub.inverse(buf.data());
+    for (std::size_t k = 0; k < n_; ++k) x[k] = buf[k] * bl.a[k];
+}
+
+void Fft::forward(Complex* data) const {
+    if (n_ == 1) return;
+    if (blue_)
+        bluestein_forward(data);
+    else
+        radix2_transform(data, false);
+}
+
+void Fft::inverse(Complex* data) const {
+    if (n_ == 1) return;
+    if (blue_) {
+        // DFT^{-1}(x) = conj(DFT(conj(x))) / n: reuses the forward chirp.
+        for (std::size_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]);
+        bluestein_forward(data);
+        const double s = 1.0 / static_cast<double>(n_);
+        for (std::size_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * s;
+        return;
+    }
+    radix2_transform(data, true);
+    const double s = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k) data[k] *= s;
+}
+
+VectorC fft(VectorC data) {
+    Fft(data.size()).forward(data.data());
+    return data;
+}
+
+VectorC ifft(VectorC data) {
+    Fft(data.size()).inverse(data.data());
+    return data;
+}
+
+void fft_2d(Complex* data, std::size_t ny, std::size_t nx, const Fft& fy,
+            const Fft& fx, bool inverse) {
+    PGSI_REQUIRE(fx.size() == nx && fy.size() == ny,
+                 "fft_2d: plan sizes do not match the grid");
+    par::parallel_for_chunked(ny, 0, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            Complex* row = data + r * nx;
+            if (inverse)
+                fx.inverse(row);
+            else
+                fx.forward(row);
+        }
+    });
+    if (ny == 1) return;
+    par::parallel_for_chunked(nx, 0, [&](std::size_t c0, std::size_t c1) {
+        VectorC col(ny);
+        for (std::size_t c = c0; c < c1; ++c) {
+            for (std::size_t r = 0; r < ny; ++r) col[r] = data[r * nx + c];
+            if (inverse)
+                fy.inverse(col.data());
+            else
+                fy.forward(col.data());
+            for (std::size_t r = 0; r < ny; ++r) data[r * nx + c] = col[r];
+        }
+    });
+}
+
+} // namespace pgsi

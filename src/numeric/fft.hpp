@@ -1,0 +1,74 @@
+// From-scratch complex FFT (radix-2 plus Bluestein for arbitrary sizes).
+//
+// The matrix-free BEM solver applies the translation-invariant P/L
+// interaction tables as discrete convolutions; those reduce to forward and
+// inverse DFTs of the circulant-embedded kernels and of the scattered
+// element data. pgsi carries no external numerical dependencies, so the
+// transforms are implemented here:
+//
+//   * power-of-two sizes use the iterative radix-2 Cooley-Tukey algorithm
+//     with a precomputed bit-reversal permutation and twiddle table;
+//   * every other size goes through Bluestein's chirp-z identity
+//     X_k = a_k * sum_j (x_j a_j) b_{k-j},  a_k = e^{-i pi k^2 / n},
+//     which rewrites an arbitrary-length DFT as one power-of-two circular
+//     convolution (size >= 2n-1) and is exact for prime n.
+//
+// A plan object (Fft) owns the tables for one size; transforms are
+// in-place, serial and allocation-free on the power-of-two path, so results
+// are bitwise independent of thread count — each worker transforms whole
+// rows/columns. Forward uses the e^{-2*pi*i*jk/n} kernel; inverse includes
+// the 1/n normalization.
+#pragma once
+
+#include <memory>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// Transform plan for one fixed length n >= 1.
+class Fft {
+public:
+    explicit Fft(std::size_t n);
+    ~Fft(); // out of line: Bluestein is incomplete here
+    Fft(Fft&&) noexcept;
+    Fft& operator=(Fft&&) noexcept;
+
+    std::size_t size() const { return n_; }
+
+    /// In-place forward DFT: X_k = sum_j x_j e^{-2 pi i jk/n}.
+    void forward(Complex* data) const;
+
+    /// In-place inverse DFT (scaled by 1/n): exact round trip with forward.
+    void inverse(Complex* data) const;
+
+    /// True when this plan runs the radix-2 path (no Bluestein scratch).
+    bool radix2() const { return blue_ == nullptr; }
+
+private:
+    struct Bluestein;
+
+    void radix2_transform(Complex* data, bool inv) const;
+    void bluestein_forward(Complex* data) const;
+
+    std::size_t n_ = 1;
+    std::vector<std::size_t> rev_;  // bit-reversal permutation (radix-2)
+    VectorC tw_;                    // forward twiddles e^{-2 pi i k/n}, k < n/2
+    std::unique_ptr<const Bluestein> blue_; // non-null for non-power-of-two n
+};
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// One-shot forward/inverse transforms (build a plan internally).
+VectorC fft(VectorC data);
+VectorC ifft(VectorC data);
+
+/// In-place 2-D transform of row-major data[ny][nx] using prebuilt row and
+/// column plans (fx.size() == nx, fy.size() == ny). Rows and columns are
+/// distributed over the pgsi::par pool; each 1-D transform runs serially on
+/// one worker, so results are bitwise identical at any thread count.
+void fft_2d(Complex* data, std::size_t ny, std::size_t nx, const Fft& fy,
+            const Fft& fx, bool inverse);
+
+} // namespace pgsi

@@ -1,0 +1,161 @@
+#include "numeric/gmres.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pgsi {
+
+namespace {
+
+// Conjugated inner product <a, b> = sum conj(a_i) b_i, serial for
+// thread-count-invariant results.
+Complex cdot(const VectorC& a, const VectorC& b) {
+    Complex s{};
+    for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+    return s;
+}
+
+} // namespace
+
+GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
+                  const GmresOptions& opt, const LinearOpC& precond) {
+    PGSI_REQUIRE(static_cast<bool>(a), "gmres: null operator");
+    PGSI_REQUIRE(x.size() == b.size(), "gmres: x/b size mismatch");
+    PGSI_REQUIRE(opt.restart >= 1, "gmres: restart must be >= 1");
+    PGSI_REQUIRE(opt.tol > 0, "gmres: tol must be positive");
+    static obs::Counter& c_solves = obs::counter("gmres.solves");
+    static obs::Counter& c_iters = obs::counter("gmres.iterations");
+    static obs::Counter& c_matvecs = obs::counter("gmres.matvecs");
+    static obs::Counter& c_restarts = obs::counter("gmres.restarts");
+    static obs::Histogram& h_iters = obs::histogram("gmres.iterations_per_solve");
+    ++c_solves;
+
+    GmresResult res;
+    const std::size_t n = b.size();
+    const double bnorm = norm2(b);
+    if (bnorm == 0.0) {
+        x.assign(n, Complex{});
+        res.converged = true;
+        return res;
+    }
+    const std::size_t m = opt.restart;
+
+    VectorC w(n), z(n), r(n);
+    std::vector<VectorC> v;            // Arnoldi basis, up to m+1 vectors
+    std::vector<VectorC> h(m + 1, VectorC(m)); // Hessenberg, h[i][j]
+    VectorC g(m + 1);                  // rotated rhs of the least squares
+    VectorC cs(m);                     // Givens cosines (real, stored complex)
+    VectorC sn(m);                     // Givens sines
+
+    // x += M^{-1} (V y) for the current least-squares solution y of size k.
+    auto update_x = [&](std::size_t k) {
+        VectorC y(k);
+        for (std::size_t i = k; i-- > 0;) {
+            Complex acc = g[i];
+            for (std::size_t j = i + 1; j < k; ++j) acc -= h[i][j] * y[j];
+            y[i] = acc / h[i][i];
+        }
+        VectorC dx(n, Complex{});
+        for (std::size_t j = 0; j < k; ++j) {
+            const Complex yj = y[j];
+            const VectorC& vj = v[j];
+            for (std::size_t i = 0; i < n; ++i) dx[i] += yj * vj[i];
+        }
+        if (precond) {
+            precond(dx, z);
+            for (std::size_t i = 0; i < n; ++i) x[i] += z[i];
+        } else {
+            for (std::size_t i = 0; i < n; ++i) x[i] += dx[i];
+        }
+    };
+    // True relative residual at the current x.
+    auto true_residual = [&]() {
+        a(x, w);
+        ++res.matvecs;
+        for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+        return norm2(r) / bnorm;
+    };
+
+    res.residual = true_residual();
+    while (res.residual > opt.tol && res.iterations < opt.max_iterations) {
+        // r holds b - A x from the residual evaluation above.
+        const double beta = norm2(r);
+        if (beta == 0.0) break;
+        v.assign(1, r);
+        for (std::size_t i = 0; i < n; ++i) v[0][i] /= beta;
+        g.assign(m + 1, Complex{});
+        g[0] = beta;
+
+        std::size_t k = 0; // columns accumulated this cycle
+        bool breakdown = false;
+        while (k < m && res.iterations < opt.max_iterations) {
+            const std::size_t j = k;
+            if (precond) {
+                precond(v[j], z);
+                a(z, w);
+            } else {
+                a(v[j], w);
+            }
+            ++res.matvecs;
+            ++res.iterations;
+            // Modified Gram-Schmidt.
+            for (std::size_t i = 0; i <= j; ++i) {
+                const Complex hij = cdot(v[i], w);
+                h[i][j] = hij;
+                const VectorC& vi = v[i];
+                for (std::size_t t = 0; t < n; ++t) w[t] -= hij * vi[t];
+            }
+            const double hnext = norm2(w);
+            // Apply the accumulated Givens rotations to the new column.
+            for (std::size_t i = 0; i < j; ++i) {
+                const Complex t0 = h[i][j];
+                const Complex t1 = h[i + 1][j];
+                h[i][j] = cs[i] * t0 + sn[i] * t1;
+                h[i + 1][j] = -std::conj(sn[i]) * t0 + cs[i] * t1;
+            }
+            // New rotation eliminating h[j+1][j] (= hnext, real >= 0).
+            {
+                const Complex hjj = h[j][j];
+                const double denom =
+                    std::sqrt(std::norm(hjj) + hnext * hnext);
+                if (denom == 0.0) {
+                    breakdown = true; // entire column vanished
+                    break;
+                }
+                if (std::abs(hjj) == 0.0) {
+                    cs[j] = 0.0;
+                    sn[j] = 1.0;
+                } else {
+                    cs[j] = std::abs(hjj) / denom;
+                    sn[j] = (hjj / std::abs(hjj)) * (hnext / denom);
+                }
+                h[j][j] = cs[j] * hjj + sn[j] * hnext;
+                g[j + 1] = -std::conj(sn[j]) * g[j];
+                g[j] = cs[j] * g[j];
+            }
+            k = j + 1;
+            if (hnext > 0.0 && std::abs(g[k]) / bnorm > opt.tol) {
+                v.push_back(w);
+                VectorC& vn = v.back();
+                for (std::size_t t = 0; t < n; ++t) vn[t] /= hnext;
+                continue;
+            }
+            // Happy breakdown (invariant subspace) or estimated convergence.
+            break;
+        }
+        if (k > 0) update_x(k);
+        res.residual = true_residual();
+        ++res.restarts;
+        if (breakdown) break;
+    }
+    res.converged = res.residual <= opt.tol;
+    c_iters.add(res.iterations);
+    c_matvecs.add(res.matvecs);
+    c_restarts.add(res.restarts);
+    h_iters.record(static_cast<double>(res.iterations));
+    return res;
+}
+
+} // namespace pgsi

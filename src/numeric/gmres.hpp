@@ -1,0 +1,51 @@
+// Restarted GMRES(m) for dense or matrix-free complex linear systems.
+//
+// The matrix-free BEM solver path needs a Krylov method that only touches
+// the operator through y = A x applications: the FFT-accelerated
+// block-Toeplitz interaction operators never materialize A. This is the
+// standard right-preconditioned restarted GMRES of Saad & Schultz:
+//
+//   * Arnoldi with modified Gram-Schmidt (serial inner products, so results
+//     are bitwise independent of thread count);
+//   * complex Givens rotations maintain the QR factorization of the
+//     Hessenberg matrix, giving a cheap running residual estimate;
+//   * right preconditioning (solve A M^{-1} u = b, x = M^{-1} u) keeps the
+//     monitored residual equal to the true residual of the original system;
+//   * on convergence the true residual is recomputed from x — the Givens
+//     estimate can drift below what the arithmetic actually achieved.
+#pragma once
+
+#include <functional>
+
+#include "numeric/matrix.hpp"
+
+namespace pgsi {
+
+/// A linear operator y = A x on complex vectors (y is pre-sized to x.size()).
+using LinearOpC = std::function<void(const VectorC& x, VectorC& y)>;
+
+struct GmresOptions {
+    std::size_t restart = 120;         ///< Krylov dimension per cycle
+    std::size_t max_iterations = 4000; ///< total inner-iteration budget
+    double tol = 1e-11;                ///< target relative residual |b-Ax|/|b|
+};
+
+struct GmresResult {
+    bool converged = false;
+    std::size_t iterations = 0; ///< inner (Arnoldi) iterations performed
+    std::size_t restarts = 0;   ///< restart cycles completed
+    std::size_t matvecs = 0;    ///< operator applications
+    double residual = 0;        ///< final true relative residual
+};
+
+/// Solve A x = b. `x` carries the initial guess on entry (pass a zero vector
+/// of size b.size() for a cold start) and the solution on return.
+/// `precond`, when non-null, applies z = M^{-1} v (right preconditioning);
+/// it must be a fixed linear operator for the duration of the solve.
+/// Telemetry lands in the returned struct and in the pgsi::obs counters
+/// gmres.solves / gmres.iterations / gmres.matvecs / gmres.restarts.
+GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
+                  const GmresOptions& opt = {},
+                  const LinearOpC& precond = nullptr);
+
+} // namespace pgsi

@@ -14,6 +14,8 @@
 #include "obs/trace.hpp"
 #include "numeric/cholesky.hpp"
 #include "numeric/eigen.hpp"
+#include "numeric/fft.hpp"
+#include "numeric/gmres.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
@@ -23,8 +25,11 @@
 #include "em/bem_plane.hpp"
 #include "em/cavity_model.hpp"
 #include "em/greens.hpp"
+#include "em/interaction_lattice.hpp"
+#include "em/iterative_solver.hpp"
 #include "em/rectint.hpp"
 #include "em/solver.hpp"
+#include "em/toeplitz_operator.hpp"
 #include "em/surface_impedance.hpp"
 #include "em/via.hpp"
 #include "geometry/point2.hpp"

@@ -7,6 +7,7 @@
 #include "common/constants.hpp"
 #include "em/solver.hpp"
 #include "extract/equivalent_circuit.hpp"
+#include "numeric/lu.hpp"
 
 using namespace pgsi;
 
@@ -72,6 +73,39 @@ TEST(DirectSolver, LossAddsRealPart) {
     const double r0 = lossless.port_impedance(f, {port})(0, 0).real();
     const double r1 = lossy.port_impedance(f, {port})(0, 0).real();
     EXPECT_GT(r1, r0 + 1e-3);
+}
+
+TEST(DirectSolver, PortImpedanceMatchesFullInverseSubmatrix) {
+    // Regression: port_impedance used to invert the whole N×N admittance;
+    // the multi-RHS solve against the port columns must give the same Z.
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance::from_sheet_resistance(6e-3));
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.005, 0.005}, 0),
+        bem.mesh().nearest_node({0.02, 0.015}, 0),
+        bem.mesh().nearest_node({0.035, 0.025}, 0)};
+    const double f = 300e6;
+    const MatrixC y = solver.nodal_admittance(f);
+    const MatrixC ref = Lu<Complex>(y).inverse().submatrix(ports, ports);
+    const MatrixC z = solver.port_impedance(f, ports);
+    ASSERT_EQ(z.rows(), ports.size());
+    for (std::size_t i = 0; i < ports.size(); ++i)
+        for (std::size_t j = 0; j < ports.size(); ++j)
+            EXPECT_LT(std::abs(z(i, j) - ref(i, j)), 1e-10 * std::abs(ref(i, j)))
+                << i << "," << j;
+}
+
+TEST(DirectSolver, PortImpedanceSolvesOnlyPortColumns) {
+    // The triangular-solve count must scale with |ports|, not with N.
+    const PlaneBem bem = small_plane();
+    const DirectSolver solver(bem, SurfaceImpedance{});
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.005, 0.005}, 0),
+        bem.mesh().nearest_node({0.035, 0.025}, 0)};
+    solver.port_impedance(100e6, ports);
+    // nodal_admittance solves the N incidence columns; port extraction adds
+    // only |ports| more (it previously added N for the full inverse).
+    EXPECT_EQ(solver.stats().solves, bem.node_count() + ports.size());
 }
 
 TEST(DirectSolver, SweepShapes) {

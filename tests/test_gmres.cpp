@@ -1,0 +1,162 @@
+// Restarted GMRES against dense LU on complex systems.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+#include "numeric/gmres.hpp"
+#include "numeric/lu.hpp"
+
+using namespace pgsi;
+
+namespace {
+
+// Random diagonally dominant (hence well-conditioned) complex matrix.
+MatrixC random_system(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    MatrixC a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = Complex(u(rng), u(rng));
+        a(i, i) += Complex(2.0 * static_cast<double>(n), 0.5);
+    }
+    return a;
+}
+
+VectorC random_vec(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    VectorC b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = Complex(u(rng), u(rng));
+    return b;
+}
+
+LinearOpC matrix_op(const MatrixC& a) {
+    return [&a](const VectorC& x, VectorC& y) {
+        const std::size_t n = a.rows();
+        y.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Complex s{};
+            for (std::size_t j = 0; j < n; ++j) s += a(i, j) * x[j];
+            y[i] = s;
+        }
+    };
+}
+
+double max_abs_diff(const VectorC& a, const std::vector<Complex>& b) {
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace
+
+TEST(Gmres, MatchesLuOnWellConditionedSystems) {
+    for (const std::size_t n : {5u, 20u, 60u}) {
+        const MatrixC a = random_system(n, 11u + static_cast<unsigned>(n));
+        const VectorC b = random_vec(n, 5u + static_cast<unsigned>(n));
+        const std::vector<Complex> ref = Lu<Complex>(a).solve(b);
+
+        VectorC x(n, Complex{});
+        GmresOptions opt;
+        opt.tol = 1e-12;
+        const GmresResult res = gmres(matrix_op(a), b, x, opt);
+        EXPECT_TRUE(res.converged);
+        EXPECT_LE(res.residual, opt.tol);
+        EXPECT_LT(max_abs_diff(x, ref), 1e-10);
+    }
+}
+
+TEST(Gmres, RestartCyclesStillConverge) {
+    const std::size_t n = 40;
+    const MatrixC a = random_system(n, 3u);
+    const VectorC b = random_vec(n, 4u);
+    const std::vector<Complex> ref = Lu<Complex>(a).solve(b);
+
+    VectorC x(n, Complex{});
+    GmresOptions opt;
+    opt.restart = 5; // force many cycles
+    opt.tol = 1e-11;
+    const GmresResult res = gmres(matrix_op(a), b, x, opt);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.restarts, 2u);
+    EXPECT_LT(max_abs_diff(x, ref), 1e-9);
+}
+
+TEST(Gmres, DiagonalPreconditionerReducesIterations) {
+    // Strongly scaled diagonal: unpreconditioned GMRES needs many more
+    // iterations than Jacobi-preconditioned GMRES.
+    const std::size_t n = 50;
+    MatrixC a = random_system(n, 9u);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double s = 1.0 + 1e3 * static_cast<double>(i) / n;
+        for (std::size_t j = 0; j < n; ++j) a(i, j) *= s;
+    }
+    const VectorC b = random_vec(n, 10u);
+    const std::vector<Complex> ref = Lu<Complex>(a).solve(b);
+
+    VectorC dinv(n);
+    for (std::size_t i = 0; i < n; ++i) dinv[i] = 1.0 / a(i, i);
+    const LinearOpC jacobi = [&dinv](const VectorC& x, VectorC& y) {
+        y.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) y[i] = dinv[i] * x[i];
+    };
+
+    GmresOptions opt;
+    opt.tol = 1e-11;
+    VectorC xp(n, Complex{}), xu(n, Complex{});
+    const GmresResult plain = gmres(matrix_op(a), b, xu, opt);
+    const GmresResult prec = gmres(matrix_op(a), b, xp, opt, jacobi);
+    EXPECT_TRUE(prec.converged);
+    EXPECT_LT(max_abs_diff(xp, ref), 1e-9);
+    if (plain.converged) {
+        EXPECT_LE(prec.iterations, plain.iterations);
+    }
+}
+
+TEST(Gmres, WarmStartFromExactSolutionTakesNoIterations) {
+    const std::size_t n = 12;
+    const MatrixC a = random_system(n, 21u);
+    const VectorC b = random_vec(n, 22u);
+    const std::vector<Complex> ref = Lu<Complex>(a).solve(b);
+
+    VectorC x(ref.begin(), ref.end());
+    const GmresResult res = gmres(matrix_op(a), b, x, {});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Gmres, ZeroRhsReturnsZero) {
+    const MatrixC a = random_system(6, 2u);
+    const VectorC b(6, Complex{});
+    VectorC x = random_vec(6, 1u); // nonzero initial guess must be discarded
+    const GmresResult res = gmres(matrix_op(a), b, x, {});
+    EXPECT_TRUE(res.converged);
+    for (const Complex& v : x) EXPECT_EQ(v, Complex{});
+}
+
+TEST(Gmres, IterationBudgetExhaustionReportsNotConverged) {
+    const std::size_t n = 30;
+    const MatrixC a = random_system(n, 33u);
+    const VectorC b = random_vec(n, 34u);
+    VectorC x(n, Complex{});
+    GmresOptions opt;
+    opt.restart = 2;
+    opt.max_iterations = 2;
+    opt.tol = 1e-14;
+    const GmresResult res = gmres(matrix_op(a), b, x, opt);
+    EXPECT_FALSE(res.converged);
+    EXPECT_GT(res.residual, opt.tol);
+}
+
+TEST(Gmres, RejectsInvalidArguments) {
+    const MatrixC a = random_system(4, 1u);
+    const VectorC b = random_vec(4, 2u);
+    VectorC x(3, Complex{});
+    EXPECT_THROW(gmres(matrix_op(a), b, x, {}), InvalidArgument);
+    x.assign(4, Complex{});
+    GmresOptions opt;
+    opt.restart = 0;
+    EXPECT_THROW(gmres(matrix_op(a), b, x, opt), InvalidArgument);
+}

@@ -102,6 +102,67 @@ TEST(Touchstone, WrappedDataLines) {
     EXPECT_NEAR(d.s[0](0, 1).real(), 0.8, 1e-12);
 }
 
+TEST(Touchstone, MultiPortRecordsWrapWithFourPairsPerLine) {
+    // Regression: n >= 3 records used to be written as one giant line. The
+    // spec wants one matrix row per line, at most four complex pairs each.
+    MatrixC s(5, 5);
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j) s(i, j) = Complex(i + 1, -(j + 1));
+    std::ostringstream os;
+    write_touchstone(os, {1e9}, {s});
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t data_lines = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '!' || line[0] == '#') continue;
+        ++data_lines;
+        std::istringstream ls(line);
+        double v;
+        std::size_t count = 0;
+        while (ls >> v) ++count;
+        // freq + up to 4 pairs on the first line, pairs only afterwards.
+        EXPECT_LE(count, 9u) << "line: " << line;
+    }
+    // 5 rows of 5 pairs, wrapped at 4 -> 2 lines per row.
+    EXPECT_EQ(data_lines, 10u);
+}
+
+TEST(Touchstone, MultiPortWrappedRoundTrip) {
+    for (const std::size_t n : {3u, 5u}) {
+        std::vector<MatrixC> sweep;
+        for (int rec = 0; rec < 2; ++rec) {
+            MatrixC s(n, n);
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    s(i, j) = Complex(0.01 * static_cast<double>(i * n + j),
+                                      0.1 * static_cast<double>(rec + 1));
+            sweep.push_back(std::move(s));
+        }
+        std::ostringstream os;
+        write_touchstone(os, {1e9, 2e9}, sweep, 50.0);
+        const TouchstoneData d = read_touchstone(os.str(), n);
+        ASSERT_EQ(d.s.size(), 2u);
+        for (int rec = 0; rec < 2; ++rec)
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    EXPECT_NEAR(std::abs(d.s[rec](i, j) - sweep[rec](i, j)),
+                                0.0, 1e-9)
+                        << "n " << n << " rec " << rec;
+    }
+}
+
+TEST(Touchstone, BadReferenceResistanceThrows) {
+    // Regression: a malformed R value used to crash via unguarded std::stod.
+    EXPECT_THROW(read_touchstone("# Hz S RI R fifty\n1000 0.1 0\n", 1),
+                 InvalidArgument);
+    EXPECT_THROW(read_touchstone("# Hz S RI R 50x\n1000 0.1 0\n", 1),
+                 InvalidArgument);
+    // Missing value after R is an error, not a silent default.
+    EXPECT_THROW(read_touchstone("# Hz S RI R\n1000 0.1 0\n", 1),
+                 InvalidArgument);
+}
+
 TEST(Touchstone, ReaderErrors) {
     EXPECT_THROW(read_touchstone("# Hz S RI R 50\n"), InvalidArgument);
     EXPECT_THROW(read_touchstone("# Hz S RI R 50\n1000 0.1\n", 2),

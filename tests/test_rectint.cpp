@@ -110,3 +110,20 @@ TEST_P(RectIntProperty, AgreesWithQuadrature) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, RectIntProperty, ::testing::Range(0, 20));
+
+TEST(RectInt, EvenInZ) {
+    // Regression: 1/R depends on z only through z^2, but the corner
+    // antiderivative's atan2 term silently assumed z >= 0. Observation
+    // points below the source plane returned wrong values, which broke any
+    // consumer evaluating both displacement signs (the interaction tables).
+    const Rect r{-0.5e-3, 0.5e-3, -0.5e-3, 0.5e-3};
+    for (const double z : {0.1e-3, 0.5e-3, 2e-3}) {
+        for (const Point2 p : {Point2{0, 0}, Point2{0.3e-3, -0.2e-3},
+                               Point2{4e-3, 1e-3}}) {
+            const double up = rect_inv_r_integral(p, r, z);
+            const double down = rect_inv_r_integral(p, r, -z);
+            EXPECT_DOUBLE_EQ(up, down) << "z " << z;
+            EXPECT_GT(up, 0.0);
+        }
+    }
+}

@@ -196,3 +196,28 @@ TEST(Transient, RejectsBadOptions) {
     opt.tstop = 1e-6;
     EXPECT_THROW(transient_analyze(nl, opt), InvalidArgument);
 }
+
+TEST(Transient, ExactMultipleStopTimePinsSampleCount) {
+    // Regression: tstop = 1e-8 with dt = 1e-9 divides to 10.000000000000002;
+    // ceil() used to add an 11th step past tstop. Exactly 10 steps (11
+    // samples counting t = 0) must be taken.
+    const Netlist nl = rc_step_circuit(1e3, 1e-9);
+    TransientOptions opt;
+    opt.dt = 1e-9;
+    opt.tstop = 1e-8;
+    const TransientResult res = transient_analyze(nl, opt);
+    ASSERT_EQ(res.time.size(), 11u);
+    EXPECT_NEAR(res.time.back(), 1e-8, 1e-20);
+    EXPECT_LE(res.time.back(), 1e-8 * (1.0 + 1e-12));
+}
+
+TEST(Transient, NonMultipleStopTimeStillCoversTstop) {
+    // A tstop that is not a multiple of dt keeps the covering ceil behavior.
+    const Netlist nl = rc_step_circuit(1e3, 1e-9);
+    TransientOptions opt;
+    opt.dt = 3e-9;
+    opt.tstop = 1e-8; // 3.33 steps -> 4 steps, 5 samples
+    const TransientResult res = transient_analyze(nl, opt);
+    ASSERT_EQ(res.time.size(), 5u);
+    EXPECT_GE(res.time.back(), opt.tstop);
+}

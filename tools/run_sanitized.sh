@@ -6,8 +6,8 @@
 # Default mode builds with ASan+UBSan and runs the full suite. --tsan builds
 # with ThreadSanitizer (its own build dir: the two sanitizers cannot share
 # object files) and runs the concurrency-sensitive suites — the pgsi::par
-# pool, the parallel BEM assembly, the dense kernels, and the sweep solver —
-# unless explicit ctest args are given.
+# pool, the parallel BEM assembly, the dense kernels, the FFT/GMRES numerics,
+# and both sweep solvers — unless explicit ctest args are given.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,7 +44,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 cd "$build_dir"
 if [[ $mode == thread && $# -eq 0 ]]; then
   ctest --output-on-failure -j"$(nproc)" \
-    -R 'Parallel|BemCache|Gemm|Lu\.|Cholesky|DirectSolver'
+    -R 'Parallel|BemCache|Gemm|Lu\.|Cholesky|DirectSolver|Fft|Gmres|IterativeSolver'
 else
   ctest --output-on-failure -j"$(nproc)" "$@"
 fi
