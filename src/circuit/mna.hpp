@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "circuit/netlist.hpp"
+#include "common/robust.hpp"
 #include "numeric/matrix.hpp"
 
 namespace pgsi {
@@ -95,5 +96,15 @@ struct DcSolution {
 /// shorts (their currents are solved), transmission lines are DC-shorted
 /// conductor-to-conductor, drivers use their t = 0 conductances.
 DcSolution dc_operating_point(const Netlist& nl);
+
+/// DC operating point with an explicit recovery policy. Under
+/// RecoveryPolicy::Recover a failed plain Newton solve is retried with gmin
+/// stepping (a shunt conductance on every node, shrunk toward zero) and then
+/// source ramping (all sources scaled up from a fraction of their value);
+/// recoveries are appended to `report` when non-null. Under Strict this is
+/// identical to the one-argument overload.
+DcSolution dc_operating_point(const Netlist& nl,
+                              const robust::RecoveryOptions& opt,
+                              robust::RecoveryReport* report = nullptr);
 
 } // namespace pgsi

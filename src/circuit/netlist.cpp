@@ -1,5 +1,7 @@
 #include "circuit/netlist.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace pgsi {
@@ -66,8 +68,11 @@ std::size_t Netlist::add_inductor(const std::string& name, NodeId a, NodeId b,
     check_node(b, "inductor");
     // Negative inductances are admitted: the paper's element-wise equivalent
     // circuit (eq 24) can produce them for weakly coupled distant node pairs,
-    // and MNA handles them without special cases.
-    PGSI_REQUIRE(l != 0, "Netlist: inductor '" + name + "' must be nonzero");
+    // and MNA handles them without special cases. Zero is admitted too — the
+    // branch-current formulation turns (R = 0, L = 0) into an ideal jumper
+    // (V_a = V_b), the natural model of a via or bond stitch; a *loop* of
+    // such jumpers is structurally singular at DC and is diagnosed there.
+    PGSI_REQUIRE(std::isfinite(l), "Netlist: inductor '" + name + "' must be finite");
     inductors_.push_back({name, a, b, l, series_r});
     return inductors_.size() - 1;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pgsi {
 
@@ -64,30 +65,55 @@ MatrixC ModalTline::ac_admittance(double omega) const {
     // (currents into the line). Assembled back through Ti ... Tv⁻¹.
     const MatrixD tvinv = tv_lu_.inverse();
     MatrixC y(2 * n_, 2 * n_);
-    MatrixC d11(n_, n_), d12(n_, n_);
-    for (std::size_t k = 0; k < n_; ++k) {
-        const double theta = omega * tau_[k];
-        const double s = std::sin(theta);
-        PGSI_REQUIRE(std::abs(s) > 1e-12,
-                     "ModalTline::ac_admittance: sampled exactly on a line "
-                     "resonance; perturb the frequency");
-        const double cot = std::cos(theta) / s;
-        const double csc = 1.0 / s;
-        d11(k, k) = Complex(0.0, -cot / zm_[k]);
-        d12(k, k) = Complex(0.0, csc / zm_[k]);
-    }
-    const MatrixC tic = to_complex(ti_);
-    const MatrixC tvc = to_complex(tvinv);
-    const MatrixC y11 = tic * d11 * tvc;
-    const MatrixC y12 = tic * d12 * tvc;
-    for (std::size_t i = 0; i < n_; ++i)
-        for (std::size_t j = 0; j < n_; ++j) {
-            y(i, j) = y11(i, j);
-            y(i, n_ + j) = y12(i, j);
-            y(n_ + i, j) = y12(i, j);
-            y(n_ + i, n_ + j) = y11(i, j);
+    // θ = mπ is a half-wave resonance of mode k: cot/csc blow up. Track the
+    // offending mode so a still-resonant sample can be reported precisely.
+    std::size_t bad_mode = 0;
+    long bad_order = 0;
+    auto build = [&](double w) -> bool {
+        MatrixC d11(n_, n_), d12(n_, n_);
+        for (std::size_t k = 0; k < n_; ++k) {
+            const double theta = w * tau_[k];
+            const double s = std::sin(theta);
+            if (std::abs(s) <= 1e-12) {
+                bad_mode = k;
+                bad_order = std::lround(theta / 3.14159265358979323846);
+                return false;
+            }
+            const double cot = std::cos(theta) / s;
+            const double csc = 1.0 / s;
+            d11(k, k) = Complex(0.0, -cot / zm_[k]);
+            d12(k, k) = Complex(0.0, csc / zm_[k]);
         }
-    return y;
+        const MatrixC tic = to_complex(ti_);
+        const MatrixC tvc = to_complex(tvinv);
+        const MatrixC y11 = tic * d11 * tvc;
+        const MatrixC y12 = tic * d12 * tvc;
+        for (std::size_t i = 0; i < n_; ++i)
+            for (std::size_t j = 0; j < n_; ++j) {
+                y(i, j) = y11(i, j);
+                y(i, n_ + j) = y12(i, j);
+                y(n_ + i, j) = y12(i, j);
+                y(n_ + i, n_ + j) = y11(i, j);
+            }
+        return true;
+    };
+    if (build(omega)) return y;
+    // Frequency sweeps routinely land a sample exactly on a resonance (grid
+    // frequencies and modal delays are both round numbers). A relative 1e-9
+    // nudge moves θ far off the singularity while changing the admittance by
+    // less than any physical tolerance — retry once before giving up.
+    if (omega != 0.0 && build(omega * (1.0 + 1e-9))) {
+        static obs::Counter& perturbed =
+            obs::counter("tline.resonance_perturbations");
+        ++perturbed;
+        return y;
+    }
+    throw InvalidArgument(
+        "ModalTline::ac_admittance: omega = " + std::to_string(omega) +
+        " rad/s sits on the half-wave resonance m = " +
+        std::to_string(bad_order) + " of mode " + std::to_string(bad_mode) +
+        " (theta = m*pi) even after a relative 1e-9 perturbation; sample a "
+        "different frequency");
 }
 
 TlineState::TlineState(const ModalTline& model, double dt)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/robust.hpp"
 #include "numeric/lu.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +49,8 @@ struct TransientStepper::Impl {
     const Netlist& nl;
     double dt;
     Integrator method;
+    robust::RecoveryOptions ropt;
+    robust::RecoveryReport report;
     MnaLayout lay;
 
     std::vector<CapState> caps;
@@ -68,8 +71,10 @@ struct TransientStepper::Impl {
     VectorD node_v_now;  // indexed by NodeId
     TransientStats stats;
 
-    Impl(const Netlist& netlist, double dt_in, Integrator method_in)
-        : nl(netlist), dt(dt_in), method(method_in), lay(netlist) {
+    Impl(const Netlist& netlist, double dt_in, Integrator method_in,
+         const robust::RecoveryOptions& ropt_in)
+        : nl(netlist), dt(dt_in), method(method_in), ropt(ropt_in),
+          lay(netlist) {
         PGSI_REQUIRE(dt > 0, "TransientStepper: dt must be positive");
         PGSI_REQUIRE(nl.sparam_blocks().empty(),
                      "TransientStepper: S-parameter blocks are AC-only; fit "
@@ -101,7 +106,7 @@ struct TransientStepper::Impl {
 
     void initialize_dc() {
         PGSI_TRACE_SCOPE("transient.dcop");
-        const DcSolution dc = dc_operating_point(nl);
+        const DcSolution dc = dc_operating_point(nl, ropt, &report);
         node_v_now = dc.node_voltage;
         for (std::size_t k = 0; k < nl.table_conductances().size(); ++k) {
             const TableConductance& tc = nl.table_conductances()[k];
@@ -228,6 +233,12 @@ struct TransientStepper::Impl {
         lu = std::make_unique<Lu<double>>(std::move(mat));
         lu_method = m;
         lu_valid = true;
+        // Conditioning spot-check: the estimator costs a handful of O(n²)
+        // solves, so sample the first factor and every 64th thereafter
+        // rather than every driver-edge refactorization.
+        if (stats.lu_factorizations == 1 || stats.lu_factorizations % 64 == 0)
+            robust::check_condition(lu->condition_estimate(),
+                                    "transient MNA matrix", ropt, &report);
     }
 
     double node_v(const VectorD& sol, NodeId n) const {
@@ -235,24 +246,119 @@ struct TransientStepper::Impl {
         return i == MnaLayout::npos ? 0.0 : sol[i];
     }
 
+    // Everything try_step mutates, captured so a failed step (or a failed
+    // cut-timestep re-advance) can be rolled back and retried.
+    struct Snapshot {
+        std::vector<CapState> caps;
+        VectorD ind_i_prev, ind_v_prev;
+        VectorD driver_gu, driver_gd;
+        VectorD table_v, table_g_last;
+        VectorD x, node_v_now;
+    };
+
+    Snapshot take_snapshot() const {
+        return {caps,      ind_i_prev, ind_v_prev, driver_gu, driver_gd,
+                table_v,   table_g_last, x,        node_v_now};
+    }
+
+    void restore(const Snapshot& s) {
+        caps = s.caps;
+        ind_i_prev = s.ind_i_prev;
+        ind_v_prev = s.ind_v_prev;
+        driver_gu = s.driver_gu;
+        driver_gd = s.driver_gd;
+        table_v = s.table_v;
+        table_g_last = s.table_g_last;
+        x = s.x;
+        node_v_now = s.node_v_now;
+    }
+
+    // Change the step size, invalidating every dt-dependent cache.
+    void set_dt(double new_dt) {
+        if (new_dt == dt) return;
+        dt = new_dt;
+        have_trap = have_be = false;
+        lu_valid = false;
+    }
+
+    // try_step plus the robustness envelope: the deterministic fault site
+    // and, under Recover, conversion of a NumericalError (singular factor,
+    // non-finite arithmetic) into a recoverable step failure.
+    bool attempt(double t, Integrator m) {
+        if (robust::FaultInjector::should_fire("transient.newton"))
+            return false;
+        try {
+            return try_step(t, m);
+        } catch (const NumericalError&) {
+            if (ropt.policy == robust::RecoveryPolicy::Strict) throw;
+            lu_valid = false; // the cached factor may be the one that failed
+            return false;
+        }
+    }
+
+    // Re-advance the failed step [t - dt, t] with a cut timestep: restore
+    // the pre-step state and split the interval into timestep_cut_factor^L
+    // backward-Euler substeps, deepening L up to max_timestep_cuts levels.
+    // History values (capacitor/inductor voltages and currents) are physical
+    // quantities at the substep times, so the step-size change is consistent.
+    bool recover_step(const Snapshot& snap) {
+        const double dt_full = dt;
+        const double t0 = (step_count - 1) * dt_full;
+        std::size_t nsub = 1;
+        for (int level = 1; level <= ropt.max_timestep_cuts; ++level) {
+            nsub *= static_cast<std::size_t>(ropt.timestep_cut_factor);
+            restore(snap);
+            set_dt(dt_full / static_cast<double>(nsub));
+            bool ok = true;
+            for (std::size_t i = 1; i <= nsub && ok; ++i)
+                ok = attempt(t0 + dt_full * (static_cast<double>(i) /
+                                             static_cast<double>(nsub)),
+                             Integrator::BackwardEuler);
+            if (ok) {
+                set_dt(dt_full);
+                ++stats.timestep_cuts;
+                static obs::Counter& cuts =
+                    obs::counter("transient.timestep_cuts");
+                ++cuts;
+                robust::note_recovery(
+                    &report, "transient.timestep_cut",
+                    "step to t = " + std::to_string(step_count * dt_full) +
+                        " s re-advanced with " + std::to_string(nsub) +
+                        " backward-Euler substeps");
+                return true;
+            }
+        }
+        restore(snap);
+        set_dt(dt_full);
+        return false;
+    }
+
     void advance() {
         const auto wall0 = std::chrono::steady_clock::now();
         ++step_count;
         const double t = step_count * dt;
         const Integrator m = (step_count == 1) ? Integrator::BackwardEuler : method;
-        if (!try_step(t, m)) {
+        // Timestep cutting needs a rollback point, and is off for netlists
+        // with transmission lines: their delay-line history is sampled at
+        // the construction dt and cannot be re-gridded mid-run.
+        const bool can_cut = ropt.policy == robust::RecoveryPolicy::Recover &&
+                             ropt.max_timestep_cuts > 0 && tstates.empty();
+        Snapshot snap;
+        if (can_cut) snap = take_snapshot();
+        if (!attempt(t, m)) {
             // Newton failure on a trapezoidal step: reject it and redo the
             // step with the maximally damped backward Euler companion before
-            // giving up (the damped model is far less prone to the
-            // oscillation that stalls the relaxation).
+            // cutting the timestep (the damped model is far less prone to
+            // the oscillation that stalls the relaxation).
             bool recovered = false;
             if (m == Integrator::Trapezoidal) {
                 ++stats.step_rejections;
                 static obs::Counter& rejections =
                     obs::counter("transient.step_rejections");
                 ++rejections;
-                recovered = try_step(t, Integrator::BackwardEuler);
+                recovered = attempt(t, Integrator::BackwardEuler);
             }
+            if (!recovered && can_cut) recovered = recover_step(snap);
             if (!recovered) {
                 NumericalError err(
                     "transient: Newton iteration did not converge at t = " +
@@ -338,6 +444,16 @@ struct TransientStepper::Impl {
             refresh_factor(m, t, table_g);
             x = lu->solve(rhs_nl);
             ++stats.lu_solves;
+            if (!robust::all_finite(x)) {
+                static obs::Counter& c_nonfinite =
+                    obs::counter("robust.nonfinite_detected");
+                ++c_nonfinite;
+                if (ropt.policy == robust::RecoveryPolicy::Strict)
+                    throw NumericalError(
+                        "transient: non-finite MNA solution at t = " +
+                        std::to_string(t));
+                return false; // let the recovery ladder decide
+            }
             if (ntab == 0) break;
             ++stats.newton_iterations;
             double worst = 0;
@@ -388,8 +504,10 @@ struct TransientStepper::Impl {
     }
 };
 
-TransientStepper::TransientStepper(const Netlist& nl, double dt, Integrator method)
-    : impl_(std::make_unique<Impl>(nl, dt, method)) {}
+TransientStepper::TransientStepper(const Netlist& nl, double dt,
+                                   Integrator method,
+                                   const robust::RecoveryOptions& recovery)
+    : impl_(std::make_unique<Impl>(nl, dt, method, recovery)) {}
 
 TransientStepper::~TransientStepper() = default;
 
@@ -414,12 +532,16 @@ double TransientStepper::inductor_current(std::size_t k) const {
 
 const TransientStats& TransientStepper::stats() const { return impl_->stats; }
 
+const robust::RecoveryReport& TransientStepper::recovery_report() const {
+    return impl_->report;
+}
+
 TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt) {
     PGSI_REQUIRE(opt.dt > 0, "transient: dt must be positive");
     PGSI_REQUIRE(opt.tstop > opt.dt, "transient: tstop must exceed dt");
     PGSI_TRACE_SCOPE("transient.run");
 
-    TransientStepper stepper(nl, opt.dt, opt.method);
+    TransientStepper stepper(nl, opt.dt, opt.method, opt.recovery);
 
     std::vector<NodeId> probes = opt.probes;
     if (probes.empty())
@@ -452,6 +574,7 @@ TransientResult transient_analyze(const Netlist& nl, const TransientOptions& opt
         record();
     }
     res.stats = stepper.stats();
+    res.recovery = stepper.recovery_report();
     return res;
 }
 

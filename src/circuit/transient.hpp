@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "circuit/mna.hpp"
+#include "common/robust.hpp"
 
 namespace pgsi {
 
@@ -35,6 +36,8 @@ struct TransientOptions {
     Integrator method = Integrator::Trapezoidal;
     /// Nodes to record; empty records every node.
     std::vector<NodeId> probes;
+    /// Numerical-recovery policy (timestep cutting, DC continuation).
+    robust::RecoveryOptions recovery;
 };
 
 /// Solver telemetry of a transient run / stepper.
@@ -42,6 +45,7 @@ struct TransientStats {
     std::size_t steps = 0;             ///< time steps advanced
     std::size_t newton_iterations = 0; ///< Newton passes over table elements
     std::size_t step_rejections = 0;   ///< trapezoidal steps redone with BE
+    std::size_t timestep_cuts = 0;     ///< steps re-advanced with a cut dt
     std::size_t lu_factorizations = 0; ///< MNA (re)factorizations
     std::size_t lu_solves = 0;         ///< back-substitutions
     double wall_seconds = 0;           ///< wall time spent inside step()
@@ -53,6 +57,7 @@ struct TransientResult {
     std::vector<NodeId> probes;   ///< recorded nodes, in recording order
     std::vector<VectorD> samples; ///< samples[s][k] = V(probes[k]) at time[s]
     TransientStats stats;         ///< solver telemetry of the run
+    robust::RecoveryReport recovery; ///< recoveries performed during the run
 
     /// Waveform of one recorded node across all samples.
     VectorD waveform(NodeId node) const;
@@ -69,7 +74,8 @@ class TransientStepper {
 public:
     /// Initializes at the DC operating point (time 0).
     TransientStepper(const Netlist& nl, double dt,
-                     Integrator method = Integrator::Trapezoidal);
+                     Integrator method = Integrator::Trapezoidal,
+                     const robust::RecoveryOptions& recovery = {});
     ~TransientStepper();
     TransientStepper(const TransientStepper&) = delete;
     TransientStepper& operator=(const TransientStepper&) = delete;
@@ -92,6 +98,10 @@ public:
 
     /// Telemetry accumulated since construction.
     const TransientStats& stats() const;
+
+    /// Recoveries performed since construction (timestep cuts, DC
+    /// continuation). Empty under RecoveryPolicy::Strict.
+    const robust::RecoveryReport& recovery_report() const;
 
 private:
     struct Impl;

@@ -1,0 +1,174 @@
+// Numerical-health guards, recovery policies, and deterministic fault
+// injection (pgsi::robust).
+//
+// The solve pipeline chains fragile numerical stages — BEM assembly, dense
+// and iterative port-impedance solves, equivalent-circuit extraction, and
+// nonlinear transient / SSN co-simulation. Production PDN flows survive the
+// events that make any one stage fail (a zero pivot, a stalled GMRES, a
+// diverging Newton iteration) with *staged recovery* instead of aborting the
+// whole run. This header is the shared vocabulary:
+//
+//  * RecoveryPolicy / RecoveryOptions — how hard each stage tries before
+//    giving up. `Strict` preserves the historical throw-on-failure behavior
+//    exactly (tests that assert failure semantics opt into it); `Recover`
+//    (the default) enables the per-stage ladders:
+//      - transient: Newton divergence → backward-Euler retry → timestep cut
+//        (factor `timestep_cut_factor`, up to `max_timestep_cuts` levels);
+//      - DC operating point: gmin stepping, then source ramping;
+//      - iterative EM solver: preconditioner escalation Diagonal →
+//        NearFieldBlock → dense-LU fallback.
+//  * RecoveryReport — per-run record of every recovery taken, surfaced on
+//    TransientResult / PartitionedCosim::Result so callers can see that a
+//    result was rescued (and how) without scraping logs. Every recovery is
+//    also counted in pgsi::obs ("robust.recoveries" plus one counter per
+//    site), so recoveries show up in exported metrics.
+//  * Finite guards — NaN/Inf checks at stage boundaries. A non-finite value
+//    caught at a boundary names the stage instead of corrupting everything
+//    downstream.
+//  * FaultInjector — deterministic fault injection compiled into the
+//    library. `PGSI_FAULT=<site>:<nth>[:<count>]` (comma-separated list) or
+//    the programmatic arm() force a failure at the N-th call of a site, so
+//    every recovery path above is exercised by ordinary tests instead of
+//    rotting as dead branches. Known sites: `lu.pivot`, `gmres.stall`,
+//    `transient.newton`, `dcop.diverge`.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pgsi::robust {
+
+/// How a stage responds to a numerical failure.
+enum class RecoveryPolicy {
+    Recover, ///< staged fallbacks before declaring failure (default)
+    Strict   ///< historical behavior: first failure throws
+};
+
+/// Per-run recovery tuning, threaded from the top-level entry points
+/// (TransientOptions, SolverOptions, SsnModelOptions) down to the stages.
+struct RecoveryOptions {
+    RecoveryPolicy policy = RecoveryPolicy::Recover;
+
+    // Transient: on Newton non-convergence, re-advance the step with
+    // `timestep_cut_factor`^level backward-Euler substeps, up to
+    // `max_timestep_cuts` levels. (Delay-line transmission lines lock the
+    // step size, so netlists with tlines skip the cut and fail as before.)
+    int max_timestep_cuts = 3;
+    int timestep_cut_factor = 8;
+
+    // DC operating point: gmin stepping (a shunt `gmin` on every node,
+    // shrunk by 10x per level from gmin_start over gmin_steps levels, then
+    // removed), then source ramping (sources scaled 1/source_steps ...1).
+    int gmin_steps = 8;
+    double gmin_start = 1e-2;
+    int source_steps = 8;
+
+    // Iterative EM solver: escalation chain on a GMRES solve that misses
+    // SolverOptions::fail_tol.
+    bool allow_precond_escalation = true;
+    bool allow_dense_fallback = true;
+
+    /// 1-norm condition-number estimate above which a factorization emits a
+    /// "robust.condition_warnings" counter tick (0 disables the estimate).
+    double condition_warn_threshold = 1e12;
+};
+
+/// One recovery (or health warning) taken during a run.
+struct RecoveryEvent {
+    std::string site;   ///< stable id, e.g. "transient.timestep_cut"
+    std::string detail; ///< human-readable description
+};
+
+/// Everything pgsi::robust did to keep one run alive.
+struct RecoveryReport {
+    std::vector<RecoveryEvent> events;
+
+    bool any() const noexcept { return !events.empty(); }
+    std::size_t count(std::string_view site) const;
+    void merge(const RecoveryReport& other);
+    /// One line per event, for logs.
+    std::string summary() const;
+};
+
+/// Record a recovery: appends to `report` (when non-null) and increments the
+/// obs counters "robust.recoveries" and "robust.<site>".
+void note_recovery(RecoveryReport* report, std::string_view site,
+                   std::string detail);
+
+/// Emit a condition warning when `kappa_estimate` exceeds the options
+/// threshold: obs counter "robust.condition_warnings" plus a report event.
+/// Returns true when the warning fired.
+bool check_condition(double kappa_estimate, std::string_view what,
+                     const RecoveryOptions& options, RecoveryReport* report);
+
+// --- numerical-health guards ------------------------------------------------
+
+inline bool is_finite(double v) noexcept { return std::isfinite(v); }
+inline bool is_finite(const std::complex<double>& v) noexcept {
+    return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+/// True when every element of the container is finite.
+template <class Vec>
+bool all_finite(const Vec& v) noexcept {
+    for (const auto& e : v)
+        if (!is_finite(e)) return false;
+    return true;
+}
+
+namespace detail {
+[[noreturn]] void fail_non_finite(const char* stage, std::size_t index);
+} // namespace detail
+
+/// Stage-boundary guard: throws NumericalError naming `stage` (and counts
+/// "robust.nonfinite_detected") when the container holds a NaN or Inf.
+template <class Vec>
+void require_finite(const Vec& v, const char* stage) {
+    std::size_t i = 0;
+    for (const auto& e : v) {
+        if (!is_finite(e)) detail::fail_non_finite(stage, i);
+        ++i;
+    }
+}
+
+// --- deterministic fault injection ------------------------------------------
+
+/// Process-wide deterministic fault injection. Sites are compiled into the
+/// library (`should_fire` at the point where the failure would originate);
+/// arming happens either programmatically or through the PGSI_FAULT
+/// environment variable, grammar
+///
+///     PGSI_FAULT=<site>:<nth>[:<count>][,<site>:<nth>[:<count>]...]
+///
+/// e.g. PGSI_FAULT=transient.newton:3:2 makes the 3rd and 4th calls of the
+/// "transient.newton" site fail. `count` defaults to 1; 0 means every call
+/// from the nth on. When nothing is armed, should_fire is one relaxed
+/// atomic load.
+class FaultInjector {
+public:
+    /// Arm `site` to fire on its nth call (1-based) and the `count - 1`
+    /// following calls (count 0 = every call from the nth on). Re-arming a
+    /// site resets its call count.
+    static void arm(std::string_view site, std::uint64_t nth,
+                    std::uint64_t count = 1);
+
+    /// Disarm every site and reset all call counts (tests call this; the
+    /// PGSI_FAULT environment variable is not re-read).
+    static void disarm_all();
+
+    /// Called at a fault site: counts the call and reports whether the
+    /// injected fault fires here. Also ticks "robust.faults_injected" when
+    /// it fires.
+    static bool should_fire(const char* site);
+
+    /// How many times `site` has fired so far.
+    static std::uint64_t fire_count(std::string_view site);
+};
+
+} // namespace pgsi::robust

@@ -9,6 +9,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/robust.hpp"
 #include "numeric/lu.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -46,7 +47,13 @@ void IterativeSolver::ensure_setup() const {
     for (std::size_t b = 0; b < branches.size(); ++b)
         zs_scale_[b] = branches[b].length() / branches[b].width();
 
-    if (options_.preconditioner == PreconditionerKind::NearFieldBlock) {
+    // The tile partition is also needed when escalation may promote a
+    // Diagonal run to NearFieldBlock mid-sweep.
+    const bool want_tiles =
+        options_.preconditioner == PreconditionerKind::NearFieldBlock ||
+        (options_.recovery.policy == robust::RecoveryPolicy::Recover &&
+         options_.recovery.allow_precond_escalation);
+    if (want_tiles) {
         // Partition the current cells by midpoint into square geometric
         // tiles. A tile mixes x- and y-directed cells on purpose: the local
         // plaquette loop currents (the nullspace of the nodal term) only
@@ -118,40 +125,59 @@ MatrixC IterativeSolver::solve_ports(
         return v;
     };
 
+    // Preconditioner state is per-frequency (tile factors depend on ω); the
+    // builder caches, so escalating Diagonal → NearFieldBlock mid-call only
+    // pays for the blocks once.
     LinearOpC precond;
     std::vector<std::unique_ptr<const Lu<Complex>>> tile_lu;
     VectorC dinv;
-    if (options_.preconditioner == PreconditionerKind::NearFieldBlock) {
-        tile_lu.resize(tiles_.size());
-        par::parallel_for(tiles_.size(), [&](std::size_t ti) {
-            const auto& ids = tiles_[ti];
-            MatrixC blk(ids.size(), ids.size());
-            for (std::size_t r = 0; r < ids.size(); ++r)
-                for (std::size_t c = 0; c < ids.size(); ++c)
-                    blk(r, c) = a_entry(ids[r], ids[c]);
-            tile_lu[ti] = std::make_unique<const Lu<Complex>>(std::move(blk));
-        });
-        precond = [&](const VectorC& x, VectorC& y) {
-            y.resize(m); // every branch belongs to exactly one tile
-            par::parallel_for(tiles_.size(), [&](std::size_t ti) {
-                const auto& ids = tiles_[ti];
-                VectorC rhs(ids.size());
-                for (std::size_t r = 0; r < ids.size(); ++r) rhs[r] = x[ids[r]];
-                const VectorC sol = tile_lu[ti]->solve(rhs);
-                for (std::size_t r = 0; r < ids.size(); ++r) y[ids[r]] = sol[r];
-            });
-        };
-    } else {
-        dinv.resize(m);
-        for (std::size_t b = 0; b < m; ++b) dinv[b] = 1.0 / a_entry(b, b);
-        precond = [&](const VectorC& x, VectorC& y) {
-            y.resize(m);
-            for (std::size_t b = 0; b < m; ++b) y[b] = dinv[b] * x[b];
-        };
-    }
+    auto build_precond = [&](PreconditionerKind kind) {
+        if (kind == PreconditionerKind::NearFieldBlock) {
+            if (tile_lu.empty()) {
+                tile_lu.resize(tiles_.size());
+                par::parallel_for(tiles_.size(), [&](std::size_t ti) {
+                    const auto& ids = tiles_[ti];
+                    MatrixC blk(ids.size(), ids.size());
+                    for (std::size_t r = 0; r < ids.size(); ++r)
+                        for (std::size_t c = 0; c < ids.size(); ++c)
+                            blk(r, c) = a_entry(ids[r], ids[c]);
+                    tile_lu[ti] =
+                        std::make_unique<const Lu<Complex>>(std::move(blk));
+                });
+            }
+            precond = [&](const VectorC& x, VectorC& y) {
+                y.resize(m); // every branch belongs to exactly one tile
+                par::parallel_for(tiles_.size(), [&](std::size_t ti) {
+                    const auto& ids = tiles_[ti];
+                    VectorC rhs(ids.size());
+                    for (std::size_t r = 0; r < ids.size(); ++r)
+                        rhs[r] = x[ids[r]];
+                    const VectorC sol = tile_lu[ti]->solve(rhs);
+                    for (std::size_t r = 0; r < ids.size(); ++r)
+                        y[ids[r]] = sol[r];
+                });
+            };
+        } else {
+            if (dinv.empty()) {
+                dinv.resize(m);
+                for (std::size_t b = 0; b < m; ++b)
+                    dinv[b] = 1.0 / a_entry(b, b);
+            }
+            precond = [&](const VectorC& x, VectorC& y) {
+                y.resize(m);
+                for (std::size_t b = 0; b < m; ++b) y[b] = dinv[b] * x[b];
+            };
+        }
+    };
+    PreconditionerKind kind = options_.preconditioner;
+    build_precond(kind);
 
+    const bool recover =
+        options_.recovery.policy == robust::RecoveryPolicy::Recover;
+    robust::RecoveryReport local_report;
     MatrixC z(p, p);
     std::size_t iters = 0, matvecs = 0, restarts = 0;
+    std::size_t escalations = 0;
     double worst = 0;
     for (std::size_t k = 0; k < p; ++k) {
         // b = (1/jw) P Ppot e_port — the port's unit current injection.
@@ -163,19 +189,58 @@ MatrixC IterativeSolver::solve_ports(
             rhs[b] = inv_jw * (unode[branches[b].n1] - unode[branches[b].n2]);
 
         VectorC cur(m, Complex{});
-        const GmresResult gr =
-            gmres(apply, rhs, cur, options_.gmres, precond);
+        GmresResult gr = gmres(apply, rhs, cur, options_.gmres, precond);
         iters += gr.iterations;
         matvecs += gr.matvecs;
         restarts += gr.restarts;
-        worst = std::max(worst, gr.residual);
-        if (gr.residual > options_.fail_tol)
+        bool bad =
+            gr.residual > options_.fail_tol || !robust::all_finite(cur);
+        // Escalation rung 1: the stronger block-Jacobi preconditioner.
+        if (bad && recover && options_.recovery.allow_precond_escalation &&
+            kind == PreconditionerKind::Diagonal) {
+            kind = PreconditionerKind::NearFieldBlock;
+            build_precond(kind);
+            ++escalations;
+            robust::note_recovery(
+                &local_report, "em.precond_escalation",
+                "GMRES stalled at residual " + std::to_string(gr.residual) +
+                    " at f = " + std::to_string(freq_hz) +
+                    " Hz; escalated Diagonal -> NearFieldBlock");
+            cur.assign(m, Complex{});
+            gr = gmres(apply, rhs, cur, options_.gmres, precond);
+            iters += gr.iterations;
+            matvecs += gr.matvecs;
+            restarts += gr.restarts;
+            bad = gr.residual > options_.fail_tol ||
+                  !robust::all_finite(cur);
+        }
+        // Escalation rung 2: dense LU for the whole frequency point.
+        if (bad && recover && options_.recovery.allow_dense_fallback) {
+            robust::note_recovery(
+                &local_report, "em.dense_fallback",
+                "GMRES stalled at residual " + std::to_string(gr.residual) +
+                    " at f = " + std::to_string(freq_hz) +
+                    " Hz; recomputed the frequency with the dense solver");
+            MatrixC zd = dense_solver().port_impedance(freq_hz, port_nodes);
+            const std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.frequencies;
+            stats_.solves += p;
+            stats_.iterations += iters;
+            stats_.matvecs += matvecs;
+            stats_.restarts += restarts;
+            stats_.precond_escalations += escalations;
+            ++stats_.dense_fallbacks;
+            report_.merge(local_report);
+            return zd;
+        }
+        if (bad)
             throw NumericalError(
                 "IterativeSolver: GMRES stalled at relative residual " +
                 std::to_string(gr.residual) + " (fail_tol " +
                 std::to_string(options_.fail_tol) + ") at f = " +
                 std::to_string(freq_hz) + " Hz, port node " +
                 std::to_string(port_nodes[k]));
+        worst = std::max(worst, gr.residual);
 
         // V = (1/jw) Ppot (J − Pᵀ I); Z(q, k) = V at port q.
         std::fill(tnode.begin(), tnode.end(), Complex{});
@@ -195,9 +260,17 @@ MatrixC IterativeSolver::solve_ports(
         stats_.iterations += iters;
         stats_.matvecs += matvecs;
         stats_.restarts += restarts;
+        stats_.precond_escalations += escalations;
         stats_.worst_residual = std::max(stats_.worst_residual, worst);
+        report_.merge(local_report);
     }
     return z;
+}
+
+const DirectSolver& IterativeSolver::dense_solver() const {
+    const std::lock_guard<std::mutex> lock(dense_mu_);
+    if (!dense_) dense_ = std::make_unique<DirectSolver>(bem_, zs_);
+    return *dense_;
 }
 
 MatrixC IterativeSolver::port_impedance(

@@ -43,6 +43,10 @@ struct IterativeSolverStats {
     std::size_t iterations = 0;  ///< total inner GMRES iterations
     std::size_t matvecs = 0;     ///< total operator applications
     std::size_t restarts = 0;    ///< total restart cycles
+    /// Stalled columns recovered by escalating Diagonal → NearFieldBlock.
+    std::size_t precond_escalations = 0;
+    /// Frequency points recovered by falling back to the dense solver.
+    std::size_t dense_fallbacks = 0;
     double setup_seconds = 0;    ///< operator build + tile partition
     double solve_seconds = 0;    ///< GMRES + recovery wall time
     double worst_residual = 0;   ///< largest final true relative residual
@@ -70,10 +74,15 @@ public:
     /// read while a sweep is in flight.
     const IterativeSolverStats& stats() const { return stats_; }
 
+    /// Recoveries performed so far (preconditioner escalations, dense
+    /// fallbacks). Do not read while a sweep is in flight.
+    const robust::RecoveryReport& recovery_report() const { return report_; }
+
 private:
     void ensure_setup() const;
     MatrixC solve_ports(double freq_hz,
                         const std::vector<std::size_t>& port_nodes) const;
+    const DirectSolver& dense_solver() const;
 
     const PlaneBem& bem_;
     SurfaceImpedance zs_;
@@ -84,6 +93,9 @@ private:
     mutable std::vector<std::vector<std::size_t>> tiles_; ///< branch ids per tile
     mutable std::mutex stats_mu_; // sweeps update stats_ from pool workers
     mutable IterativeSolverStats stats_;
+    mutable robust::RecoveryReport report_;
+    mutable std::mutex dense_mu_; // lazy dense fallback construction
+    mutable std::unique_ptr<DirectSolver> dense_;
 };
 
 } // namespace pgsi

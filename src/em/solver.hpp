@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/robust.hpp"
 #include "em/bem_plane.hpp"
 #include "numeric/gmres.hpp"
 
@@ -47,8 +48,15 @@ struct SolverOptions {
     std::size_t precond_tile_cells = 10;
     GmresOptions gmres; ///< restart / iteration budget / target residual
     /// An iterative solve whose final true relative residual exceeds this
-    /// raises NumericalError instead of returning a silently inaccurate Z.
+    /// is either recovered (preconditioner escalation, then dense-LU
+    /// fallback, per `recovery`) or raises NumericalError instead of
+    /// returning a silently inaccurate Z.
     double fail_tol = 1e-8;
+    /// Recovery policy of the iterative backend. Under Recover (default) a
+    /// stalled GMRES column escalates Diagonal → NearFieldBlock and finally
+    /// falls back to the dense direct solver for that frequency; Strict
+    /// preserves the throw-on-stall behavior.
+    robust::RecoveryOptions recovery;
 };
 
 /// Common interface of the frequency-domain plane solvers: Z-parameters at

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/robust.hpp"
 #include "obs/metrics.hpp"
 
 namespace pgsi {
@@ -29,11 +30,20 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
     static obs::Counter& c_iters = obs::counter("gmres.iterations");
     static obs::Counter& c_matvecs = obs::counter("gmres.matvecs");
     static obs::Counter& c_restarts = obs::counter("gmres.restarts");
+    static obs::Counter& c_est_retries =
+        obs::counter("gmres.estimate_retries");
     static obs::Histogram& h_iters = obs::histogram("gmres.iterations_per_solve");
     ++c_solves;
 
     GmresResult res;
     const std::size_t n = b.size();
+    if (robust::FaultInjector::should_fire("gmres.stall")) {
+        // Injected stall: report total non-convergence without touching x,
+        // exactly as a solve that made no progress would.
+        res.converged = false;
+        res.residual = 1.0;
+        return res;
+    }
     const double bnorm = norm2(b);
     if (bnorm == 0.0) {
         x.assign(n, Complex{});
@@ -88,8 +98,16 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
         g.assign(m + 1, Complex{});
         g[0] = beta;
 
-        std::size_t k = 0; // columns accumulated this cycle
-        bool breakdown = false;
+        // Target for the running Givens estimate. Starts at the requested
+        // tolerance; when the estimate claims convergence but the recomputed
+        // true residual disagrees (loss of orthogonality on ill-conditioned
+        // operators lets the estimate drift below what the arithmetic
+        // achieved), the target is tightened by the observed gap and the
+        // cycle keeps iterating instead of giving up.
+        double est_tol = opt.tol;
+        std::size_t k = 0;       // columns accumulated this cycle
+        bool breakdown = false;  // column vanished (denom == 0)
+        bool committed = false;  // x and res.residual already updated
         while (k < m && res.iterations < opt.max_iterations) {
             const std::size_t j = k;
             if (precond) {
@@ -136,17 +154,45 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
                 g[j] = cs[j] * g[j];
             }
             k = j + 1;
-            if (hnext > 0.0 && std::abs(g[k]) / bnorm > opt.tol) {
+            if (hnext > 0.0 && std::abs(g[k]) / bnorm > est_tol) {
                 v.push_back(w);
                 VectorC& vn = v.back();
                 for (std::size_t t = 0; t < n; ++t) vn[t] /= hnext;
                 continue;
             }
-            // Happy breakdown (invariant subspace) or estimated convergence.
-            break;
+            if (hnext == 0.0) break; // happy breakdown: commit below
+            // The Givens estimate claims convergence. Verify against the
+            // true residual before committing; push the next Arnoldi vector
+            // first, because true_residual() reuses w as scratch and the
+            // vector is needed anyway if the cycle continues.
+            {
+                v.push_back(w);
+                VectorC& vn = v.back();
+                for (std::size_t t = 0; t < n; ++t) vn[t] /= hnext;
+            }
+            const VectorC x_save = x;
+            update_x(k);
+            const double tr = true_residual();
+            if (tr <= opt.tol || k >= m ||
+                res.iterations >= opt.max_iterations) {
+                // Truly converged, or no room left this cycle / in the
+                // budget: keep the update and let the outer loop decide.
+                res.residual = tr;
+                committed = true;
+                break;
+            }
+            // The estimate drifted below the achieved residual: discard the
+            // trial update, tighten the estimate target by the observed gap,
+            // and keep building this Krylov cycle.
+            ++res.estimate_retries;
+            x = x_save;
+            est_tol = std::min(est_tol,
+                               opt.tol * ((std::abs(g[k]) / bnorm) / tr));
         }
-        if (k > 0) update_x(k);
-        res.residual = true_residual();
+        if (!committed) {
+            if (k > 0) update_x(k);
+            res.residual = true_residual();
+        }
         ++res.restarts;
         if (breakdown) break;
     }
@@ -154,6 +200,7 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
     c_iters.add(res.iterations);
     c_matvecs.add(res.matvecs);
     c_restarts.add(res.restarts);
+    c_est_retries.add(res.estimate_retries);
     h_iters.record(static_cast<double>(res.iterations));
     return res;
 }

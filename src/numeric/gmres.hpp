@@ -35,6 +35,10 @@ struct GmresResult {
     std::size_t iterations = 0; ///< inner (Arnoldi) iterations performed
     std::size_t restarts = 0;   ///< restart cycles completed
     std::size_t matvecs = 0;    ///< operator applications
+    /// Times the Givens estimate claimed convergence but the recomputed true
+    /// residual disagreed; the solve keeps iterating (with a tightened
+    /// estimate target) instead of giving up, within the iteration budget.
+    std::size_t estimate_retries = 0;
     double residual = 0;        ///< final true relative residual
 };
 

@@ -185,11 +185,13 @@ SsnModel::SsnModel(std::shared_ptr<const PlaneModel> plane,
 }
 
 TransientResult SsnModel::simulate(double dt, double tstop,
-                                   std::vector<NodeId> probes) const {
+                                   std::vector<NodeId> probes,
+                                   const robust::RecoveryOptions& recovery) const {
     PGSI_TRACE_SCOPE("ssn.simulate");
     TransientOptions opt;
     opt.dt = dt;
     opt.tstop = tstop;
+    opt.recovery = recovery;
     if (probes.empty()) {
         probes.push_back(nl_.ground());
         for (NodeId n : die_gnd_) probes.push_back(n);
@@ -199,7 +201,14 @@ TransientResult SsnModel::simulate(double dt, double tstop,
         probes.push_back(vrm_vcc_node_);
     }
     opt.probes = std::move(probes);
-    return transient_analyze(nl_, opt);
+    try {
+        return transient_analyze(nl_, opt);
+    } catch (NumericalError& e) {
+        e.with_context("while simulating the SSN model (dt = " +
+                       std::to_string(dt) + " s, tstop = " +
+                       std::to_string(tstop) + " s)");
+        throw;
+    }
 }
 
 double SsnModel::peak_ground_bounce(const TransientResult& r,
@@ -224,7 +233,8 @@ struct PartitionedCosim::Impl {
 
     std::unique_ptr<TransientStepper> plane_step, dev_step;
 
-    Impl(std::shared_ptr<const PlaneModel> p, double dt_in, std::size_t ndecap)
+    Impl(std::shared_ptr<const PlaneModel> p, double dt_in, std::size_t ndecap,
+         const robust::RecoveryOptions& recovery)
         : plane(std::move(p)), dt(dt_in) {
         node_map = stamp_plane_side(plane_nl, *plane, prefix_decaps(*plane, ndecap));
         const Board& board = plane->board();
@@ -265,14 +275,18 @@ struct PartitionedCosim::Impl {
             stamp_signal_net(dev_nl, net, dev_out.at(net.driver_site),
                              "net" + std::to_string(n));
         }
-        plane_step = std::make_unique<TransientStepper>(plane_nl, dt);
-        dev_step = std::make_unique<TransientStepper>(dev_nl, dt);
+        plane_step = std::make_unique<TransientStepper>(
+            plane_nl, dt, Integrator::Trapezoidal, recovery);
+        dev_step = std::make_unique<TransientStepper>(
+            dev_nl, dt, Integrator::Trapezoidal, recovery);
     }
 };
 
 PartitionedCosim::PartitionedCosim(std::shared_ptr<const PlaneModel> plane,
-                                   double dt, std::size_t active_decaps)
-    : impl_(std::make_unique<Impl>(std::move(plane), dt, active_decaps)) {}
+                                   double dt, std::size_t active_decaps,
+                                   const robust::RecoveryOptions& recovery)
+    : impl_(std::make_unique<Impl>(std::move(plane), dt, active_decaps,
+                                   recovery)) {}
 
 PartitionedCosim::~PartitionedCosim() = default;
 
@@ -321,6 +335,8 @@ PartitionedCosim::Result PartitionedCosim::run(double tstop) {
     }
     res.stats.device = im.dev_step->stats();
     res.stats.plane = im.plane_step->stats();
+    res.recovery.merge(im.dev_step->recovery_report());
+    res.recovery.merge(im.plane_step->recovery_report());
     return res;
 }
 

@@ -103,9 +103,12 @@ public:
     NodeId receiver(std::size_t net) const { return rx_.at(net); }
 
     /// Run the transient; probes default to every die/board supply node and
-    /// every driver output.
+    /// every driver output. `recovery` selects the numerical-recovery policy
+    /// of the underlying transient/DC engines; recoveries performed are
+    /// reported in TransientResult::recovery.
     TransientResult simulate(double dt, double tstop,
-                             std::vector<NodeId> probes = {}) const;
+                             std::vector<NodeId> probes = {},
+                             const robust::RecoveryOptions& recovery = {}) const;
 
     /// Worst ground bounce across sites: max |V(die_gnd) − V(board ref)|.
     static double peak_ground_bounce(const TransientResult& r,
@@ -123,7 +126,8 @@ private:
 class PartitionedCosim {
 public:
     PartitionedCosim(std::shared_ptr<const PlaneModel> plane, double dt,
-                     std::size_t active_decaps = static_cast<std::size_t>(-1));
+                     std::size_t active_decaps = static_cast<std::size_t>(-1),
+                     const robust::RecoveryOptions& recovery = {});
     ~PartitionedCosim();
 
     /// Telemetry of the per-step Gauss–Seidel exchange.
@@ -141,6 +145,8 @@ public:
         std::vector<VectorD> die_vcc;   ///< per site: die supply [V]
         std::vector<VectorD> plane_vcc; ///< per site: plane voltage at the Vcc pin
         CosimStats stats;               ///< partition-exchange telemetry
+        /// Recoveries performed by either partition's stepper over the run.
+        robust::RecoveryReport recovery;
     };
     Result run(double tstop);
 

@@ -102,3 +102,38 @@ TEST(DcOp, FloatingCircuitThrows) {
     nl.add_resistor("R1", a, b, 1e3); // no path to ground
     EXPECT_THROW(dc_operating_point(nl), NumericalError);
 }
+
+TEST(DcOp, IdealInductorLoopIsDiagnosedByName) {
+    // Two (R = 0, L = 0) jumpers in parallel: the circulating DC current is
+    // undetermined, and no continuation can fix a structural singularity —
+    // the solver must name the loop instead of retrying.
+    Netlist nl;
+    const NodeId a = nl.node("via_a");
+    const NodeId b = nl.node("via_b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(1.0));
+    nl.add_inductor("L1", a, b, 0.0);
+    nl.add_inductor("L2", a, b, 0.0);
+    nl.add_resistor("R1", b, nl.ground(), 10.0);
+    try {
+        dc_operating_point(nl);
+        FAIL() << "expected InvalidArgument for the ideal-inductor loop";
+    } catch (const InvalidArgument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("loop of ideal"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("via_a"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("via_b"), std::string::npos) << msg;
+    }
+}
+
+TEST(DcOp, SingleIdealJumperIsJustAShort) {
+    // One zero-impedance inductor is an ideal via model, not an error.
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(2.0));
+    nl.add_inductor("L1", a, b, 0.0);
+    nl.add_resistor("R1", b, nl.ground(), 100.0);
+    const DcSolution s = dc_operating_point(nl);
+    EXPECT_NEAR(s.v(b), 2.0, 1e-9);
+    EXPECT_NEAR(s.inductor_current[0], 0.02, 1e-12);
+}

@@ -229,10 +229,31 @@ TEST(IterativeSolver, StalledSolveThrowsInsteadOfReturningGarbage) {
     opt.gmres.restart = 1;
     opt.gmres.tol = 1e-14;
     opt.fail_tol = 1e-14;
+    opt.recovery.policy = robust::RecoveryPolicy::Strict;
     const IterativeSolver iterative(bem, zs, opt);
     const std::vector<std::size_t> ports{
         bem.mesh().nearest_node({0.002, 0.002}, 0)};
     EXPECT_THROW(iterative.port_impedance(1e9, ports), NumericalError);
+}
+
+TEST(IterativeSolver, StalledSolveRecoversThroughDenseFallback) {
+    const PlaneBem bem = make_bem(holey_mesh());
+    const SurfaceImpedance zs = SurfaceImpedance::from_sheet_resistance(1e-3);
+    SolverOptions opt = iterative_options();
+    opt.gmres.max_iterations = 1;
+    opt.gmres.restart = 1;
+    opt.gmres.tol = 1e-14;
+    opt.fail_tol = 1e-14;
+    const IterativeSolver iterative(bem, zs, opt);
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.002, 0.002}, 0)};
+    const MatrixC z = iterative.port_impedance(1e9, ports);
+    EXPECT_GE(iterative.stats().dense_fallbacks, 1u);
+    EXPECT_TRUE(iterative.recovery_report().any());
+
+    const DirectSolver direct(bem, zs);
+    const MatrixC zd = direct.port_impedance(1e9, ports);
+    EXPECT_LT(max_rel_diff(z, zd), 1e-8);
 }
 
 TEST(IterativeSolver, RejectsInvalidPorts) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "circuit/transient.hpp"
 #include "common/constants.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 using namespace pgsi;
 
@@ -144,4 +147,43 @@ TEST(ModalTline, TerminalCountValidation) {
     Netlist nl;
     const NodeId a = nl.node("a");
     EXPECT_THROW(nl.add_tline("T1", {a}, {a, a}, line50(0.1)), InvalidArgument);
+}
+
+TEST(ModalTline, HalfWaveResonanceIsPerturbedAutomatically) {
+    // τ = 1 ns: ω = π/τ lands exactly on the m = 1 half-wave resonance of
+    // the single mode. A relative 1e-9 nudge moves θ off the singularity;
+    // the admittance must come back finite instead of throwing.
+    const auto m = line50(0.2);
+    const double omega_res = 3.14159265358979323846 / 1e-9;
+    static obs::Counter& perturbed =
+        obs::counter("tline.resonance_perturbations");
+    const std::uint64_t before = perturbed.value();
+    MatrixC y;
+    ASSERT_NO_THROW(y = m->ac_admittance(omega_res));
+    EXPECT_EQ(perturbed.value(), before + 1);
+    for (std::size_t i = 0; i < y.rows(); ++i)
+        for (std::size_t j = 0; j < y.cols(); ++j) {
+            EXPECT_TRUE(std::isfinite(y(i, j).real()));
+            EXPECT_TRUE(std::isfinite(y(i, j).imag()));
+        }
+    // Slightly off resonance must agree with the perturbed on-resonance
+    // sample to the physical tolerance the nudge implies.
+    const MatrixC yref = m->ac_admittance(omega_res * (1.0 + 1e-9));
+    EXPECT_NEAR(std::abs(y(0, 0) - yref(0, 0)), 0.0, 1e-6 * std::abs(y(0, 0)));
+}
+
+TEST(ModalTline, UnrecoverableResonanceNamesTheMode) {
+    // ω = 0 is the m = 0 "resonance" (θ = 0) of every mode and stays
+    // singular under any relative perturbation — the error must name the
+    // resonant order and mode.
+    const auto m = line50(0.2);
+    try {
+        m->ac_admittance(0.0);
+        FAIL() << "expected InvalidArgument at omega = 0";
+    } catch (const InvalidArgument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("half-wave resonance"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("m = 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("mode 0"), std::string::npos) << msg;
+    }
 }

@@ -7,7 +7,9 @@
 # with ThreadSanitizer (its own build dir: the two sanitizers cannot share
 # object files) and runs the concurrency-sensitive suites — the pgsi::par
 # pool, the parallel BEM assembly, the dense kernels, the FFT/GMRES numerics,
-# and both sweep solvers — unless explicit ctest args are given.
+# both sweep solvers, and the pgsi::robust recovery / fault-injection suites
+# (the FaultInjector and the solver recovery ladders are reached from pool
+# workers) — unless explicit ctest args are given.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,7 +46,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 cd "$build_dir"
 if [[ $mode == thread && $# -eq 0 ]]; then
   ctest --output-on-failure -j"$(nproc)" \
-    -R 'Parallel|BemCache|Gemm|Lu\.|Cholesky|DirectSolver|Fft|Gmres|IterativeSolver'
+    -R 'Parallel|BemCache|Gemm|Lu\.|Cholesky|DirectSolver|Fft|Gmres|IterativeSolver|Robust|RobustEnv'
 else
   ctest --output-on-failure -j"$(nproc)" "$@"
 fi
