@@ -128,19 +128,23 @@ struct SubcktDef {
 
 using SubcktMap = std::map<std::string, SubcktDef>;
 
+// Element name -> line of first definition, for duplicate detection across
+// the whole expanded deck (subcircuit instances are disambiguated by prefix).
+using SeenNames = std::map<std::string, int>;
+
 // Expand cards into the netlist. `resolve` maps a card-local node name to a
 // netlist node; `prefix` namespaces element names.
 void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
                   Netlist& nl,
                   const std::function<NodeId(const std::string&)>& resolve,
                   const std::string& prefix, ParsedAnalyses* analyses,
-                  int depth);
+                  int depth, SeenNames& seen);
 
 // Instantiate one subcircuit: pins map to the caller's nodes, internal nodes
 // get fresh namespaced nodes.
 void instantiate_subckt(const Card& card, const SubcktMap& subckts, Netlist& nl,
                         const std::function<NodeId(const std::string&)>& resolve,
-                        const std::string& prefix, int depth) {
+                        const std::string& prefix, int depth, SeenNames& seen) {
     if (card.toks.size() < 3)
         fail(card.lineno, "X needs: name nodes... subcktname");
     const std::string& def_name = lower(card.toks.back());
@@ -172,14 +176,14 @@ void instantiate_subckt(const Card& card, const SubcktMap& subckts, Netlist& nl,
         return fresh;
     };
     expand_cards(def.cards, subckts, nl, inner_resolve, inner_prefix, nullptr,
-                 depth + 1);
+                 depth + 1, seen);
 }
 
 void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
                   Netlist& nl,
                   const std::function<NodeId(const std::string&)>& resolve,
                   const std::string& prefix, ParsedAnalyses* analyses,
-                  int depth) {
+                  int depth, SeenNames& seen) {
     if (depth > 16)
         throw InvalidArgument("spice parse error: subcircuit nesting too deep "
                               "(recursive definition?)");
@@ -209,6 +213,15 @@ void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
             continue;
         }
 
+        if (head[0] != '.' && head[0] != 'x') {
+            const auto [it, fresh] =
+                seen.emplace(prefix + lower(toks[0]), lineno);
+            if (!fresh)
+                fail(lineno, "duplicate element name '" + prefix + toks[0] +
+                                 "' (first defined at line " +
+                                 std::to_string(it->second) + ")");
+        }
+        try {
         switch (head[0]) {
             case 'r':
                 if (toks.size() < 4) fail(lineno, "R needs: name n1 n2 value");
@@ -241,10 +254,18 @@ void expand_cards(const std::vector<Card>& cards, const SubcktMap& subckts,
                                resolve(toks[2]), parse_source(toks, 3, lineno));
                 break;
             case 'x':
-                instantiate_subckt(card, subckts, nl, resolve, prefix, depth);
+                instantiate_subckt(card, subckts, nl, resolve, prefix, depth,
+                                   seen);
                 break;
             default:
                 fail(lineno, "unsupported element '" + toks[0] + "'");
+        }
+        } catch (const InvalidArgument& e) {
+            // Value and netlist-level errors (bad numeric token, zero-valued
+            // R/C, |k| >= 1, ...) gain the offending line; messages that
+            // already carry one pass through untouched.
+            if (e.message().rfind("spice parse error", 0) == 0) throw;
+            fail(lineno, e.message());
         }
     }
 }
@@ -335,7 +356,8 @@ ParsedDeck parse_spice(const std::string& text) {
 
     Netlist& nl = deck.netlist;
     auto resolve = [&nl](const std::string& name) { return nl.node(name); };
-    expand_cards(main_cards, subckts, nl, resolve, "", &deck.analyses, 0);
+    SeenNames seen;
+    expand_cards(main_cards, subckts, nl, resolve, "", &deck.analyses, 0, seen);
     return deck;
 }
 

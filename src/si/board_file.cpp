@@ -26,6 +26,15 @@ double num(const std::vector<std::string>& t, std::size_t i, int lineno) {
     }
 }
 
+double positive(const std::vector<std::string>& t, std::size_t i, int lineno,
+                const char* what) {
+    const double v = num(t, i, lineno);
+    if (!(v > 0))
+        fail(lineno, std::string(what) + " must be positive, got '" + t[i] +
+                         "'");
+    return v;
+}
+
 std::vector<std::string> tokens(const std::string& line) {
     std::istringstream is(line);
     std::vector<std::string> t;
@@ -61,17 +70,19 @@ Board parse_board_file(const std::string& text) {
         const std::string& key = t[0];
 
         if (key == "board") {
-            width = num(t, 1, lineno);
-            height = num(t, 2, lineno);
+            width = positive(t, 1, lineno, "board width");
+            height = positive(t, 2, lineno, "board height");
         } else if (key == "stackup") {
             for (std::size_t i = 1; i + 1 < t.size(); i += 2) {
                 if (t[i] == "sep") {
-                    stackup.plane_separation = num(t, i + 1, lineno);
+                    stackup.plane_separation =
+                        positive(t, i + 1, lineno, "stackup sep");
                     have_sep = true;
                 } else if (t[i] == "eps") {
-                    stackup.eps_r = num(t, i + 1, lineno);
+                    stackup.eps_r = positive(t, i + 1, lineno, "stackup eps");
                 } else if (t[i] == "sheet") {
-                    stackup.sheet_resistance = num(t, i + 1, lineno);
+                    stackup.sheet_resistance =
+                        positive(t, i + 1, lineno, "stackup sheet");
                 } else {
                     fail(lineno, "unknown stackup key '" + t[i] + "'");
                 }
@@ -130,6 +141,9 @@ Board parse_board_file(const std::string& text) {
                 }
             }
             if (!have_vcc || !have_gnd) fail(lineno, "driver needs vcc and gnd pins");
+            for (const DriverSite& prev : sites)
+                if (prev.name == s.name)
+                    fail(lineno, "duplicate driver name '" + s.name + "'");
             sites.push_back(std::move(s));
         } else if (key == "decap") {
             Decap d;
@@ -137,7 +151,7 @@ Board parse_board_file(const std::string& text) {
             std::size_t i = 3;
             while (i + 1 < t.size() + 1 && i < t.size()) {
                 if (t[i] == "c")
-                    d.c = num(t, i + 1, lineno);
+                    d.c = positive(t, i + 1, lineno, "decap c");
                 else if (t[i] == "esr")
                     d.esr = num(t, i + 1, lineno);
                 else if (t[i] == "esl")

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random streams for the verification harness.
+//
+// SplitMix64 (Steele/Lea/Flood, JPDC 2014): tiny, full-period, and — unlike
+// std::mt19937 fed through standard-library distributions, whose float
+// streams are implementation-defined — stable across platforms, compilers
+// and libstdc++ versions. Every campaign iteration derives an independent
+// stream from (campaign seed, iteration index), so any failure reproduces
+// from two integers no matter which suites ran or in what order.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pgsi::verify {
+
+/// Seeded deterministic generator. Copyable; copies advance independently.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /// Independent, decorrelated stream `stream` of campaign seed `seed`.
+    static Rng stream(std::uint64_t seed, std::uint64_t stream) {
+        Rng a(seed);
+        Rng b(stream * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull);
+        Rng mixed(a.next_u64() ^ (b.next_u64() + 0x9e3779b97f4a7c15ull));
+        mixed.next_u64(); // decorrelate adjacent (seed, stream) pairs
+        return mixed;
+    }
+
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, 1).
+    double uniform() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Log-uniform in [lo, hi); both bounds must be positive.
+    double log_uniform(double lo, double hi) {
+        PGSI_REQUIRE(lo > 0 && hi > 0, "Rng::log_uniform: bounds must be > 0");
+        return std::exp(uniform(std::log(lo), std::log(hi)));
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi) {
+        PGSI_REQUIRE(lo <= hi, "Rng::uniform_int: empty range");
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int>(next_u64() % span);
+    }
+
+    /// True with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Uniformly chosen element of a non-empty vector.
+    template <typename T>
+    const T& pick(const std::vector<T>& v) {
+        PGSI_REQUIRE(!v.empty(), "Rng::pick: empty vector");
+        return v[static_cast<std::size_t>(
+            uniform_int(0, static_cast<int>(v.size()) - 1))];
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace pgsi::verify

@@ -1,0 +1,181 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pgsi::verify {
+
+namespace {
+
+bool is_valid(const PlaneScenario& s) {
+    try {
+        s.validate();
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+// Scale a cell rect after an axis halving, clamped back into the shape.
+// Returns false when the feature degenerates and should be dropped.
+bool rescale(CellRect& r, int nx, int ny, bool halved_x, bool halved_y) {
+    if (halved_x) {
+        r.x0 /= 2;
+        r.x1 = (r.x1 + 1) / 2;
+    }
+    if (halved_y) {
+        r.y0 /= 2;
+        r.y1 = (r.y1 + 1) / 2;
+    }
+    r.x0 = std::max(r.x0, 1);
+    r.y0 = std::max(r.y0, 1);
+    r.x1 = std::min(r.x1, nx - 1);
+    r.y1 = std::min(r.y1, ny - 1);
+    return r.x1 > r.x0 && r.y1 > r.y0;
+}
+
+// Drop shape `idx`, rehoming the port list (ports on the dropped shape go
+// away; indices above it shift down). Returns false when no port survives.
+bool drop_shape(PlaneScenario& s, std::size_t idx) {
+    s.shapes.erase(s.shapes.begin() + static_cast<std::ptrdiff_t>(idx));
+    std::vector<PortSpec> kept;
+    for (const PortSpec& p : s.ports) {
+        if (p.shape == idx) continue;
+        PortSpec q = p;
+        if (q.shape > idx) --q.shape;
+        kept.push_back(q);
+    }
+    s.ports = std::move(kept);
+    return !s.ports.empty();
+}
+
+} // namespace
+
+ShrinkResult shrink_scenario(const PlaneScenario& start,
+                             const FailPredicate& still_fails) {
+    ShrinkResult res;
+    res.scenario = start;
+
+    const auto attempt = [&](PlaneScenario cand) {
+        ++res.moves_tried;
+        if (!is_valid(cand)) return false;
+        bool fails = false;
+        try {
+            fails = still_fails(cand);
+        } catch (...) {
+            fails = false;
+        }
+        if (!fails) return false;
+        res.scenario = std::move(cand);
+        ++res.moves_kept;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        PlaneScenario& cur = res.scenario;
+
+        // 1. Collapse layers / drop whole shapes, last first.
+        for (std::size_t i = cur.shapes.size(); i-- > 0 && cur.shapes.size() > 1;) {
+            PlaneScenario cand = cur;
+            if (!drop_shape(cand, i)) continue;
+            if (attempt(std::move(cand))) progress = true;
+        }
+
+        // 2. Drop holes, L-cuts and lattice stretch.
+        for (std::size_t i = 0; i < cur.shapes.size(); ++i) {
+            if (cur.shapes[i].hole) {
+                PlaneScenario cand = cur;
+                cand.shapes[i].hole.reset();
+                if (attempt(std::move(cand))) progress = true;
+            }
+            if (cur.shapes[i].lcut) {
+                PlaneScenario cand = cur;
+                cand.shapes[i].lcut.reset();
+                if (attempt(std::move(cand))) progress = true;
+            }
+            if (cur.shapes[i].stretch != 1.0) {
+                PlaneScenario cand = cur;
+                cand.shapes[i].stretch = 1.0;
+                if (attempt(std::move(cand))) progress = true;
+            }
+        }
+
+        // 3. Drop ports, last first, keeping at least one.
+        for (std::size_t i = cur.ports.size(); i-- > 0 && cur.ports.size() > 1;) {
+            PlaneScenario cand = cur;
+            cand.ports.erase(cand.ports.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            if (attempt(std::move(cand))) progress = true;
+        }
+
+        // 4. Halve cell counts per shape and axis, then decrement for the
+        // tail the halving overshoots.
+        for (std::size_t i = 0; i < cur.shapes.size(); ++i) {
+            for (const bool axis_x : {true, false}) {
+                const int n = axis_x ? cur.shapes[i].nx : cur.shapes[i].ny;
+                for (const int next : {n / 2, n - 1}) {
+                    if (next < 2 || next >= n) continue;
+                    PlaneScenario cand = cur;
+                    ShapeSpec& sh = cand.shapes[i];
+                    const bool halved = next == n / 2 && n / 2 < n - 1;
+                    (axis_x ? sh.nx : sh.ny) = next;
+                    if (sh.hole &&
+                        !rescale(*sh.hole, sh.nx, sh.ny, halved && axis_x,
+                                 halved && !axis_x))
+                        sh.hole.reset();
+                    if (sh.lcut) {
+                        if (halved) {
+                            if (axis_x) sh.lcut->x0 /= 2;
+                            else sh.lcut->y0 /= 2;
+                        }
+                        sh.lcut->x0 = std::clamp(sh.lcut->x0, 1, sh.nx - 1);
+                        sh.lcut->y0 = std::clamp(sh.lcut->y0, 1, sh.ny - 1);
+                        sh.lcut->x1 = sh.nx;
+                        sh.lcut->y1 = sh.ny;
+                    }
+                    if (attempt(std::move(cand))) {
+                        progress = true;
+                        break; // shape layout changed; recompute from `cur`
+                    }
+                }
+            }
+        }
+    }
+    return res;
+}
+
+ReproPaths write_repro(const std::string& dir, const std::string& tag,
+                       const PlaneScenario& scenario,
+                       const CheckResult& failure) {
+    std::filesystem::create_directories(dir);
+    std::string test_name = tag;
+    for (char& c : test_name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    if (!test_name.empty() && std::isdigit(static_cast<unsigned char>(test_name[0])))
+        test_name.insert(test_name.begin(), 'R');
+
+    ReproPaths paths;
+    paths.cpp_path = (std::filesystem::path(dir) / (tag + ".cpp")).string();
+    paths.board_path = (std::filesystem::path(dir) / (tag + ".board")).string();
+    {
+        std::ofstream f(paths.cpp_path);
+        PGSI_REQUIRE(f.good(), "write_repro: cannot open " + paths.cpp_path);
+        f << scenario.to_cpp(test_name, failure.invariant);
+    }
+    {
+        std::ofstream f(paths.board_path);
+        PGSI_REQUIRE(f.good(), "write_repro: cannot open " + paths.board_path);
+        f << "# invariant " << failure.invariant << " error " << failure.error
+          << " tolerance " << failure.tolerance << "\n"
+          << scenario.to_board();
+    }
+    return paths;
+}
+
+} // namespace pgsi::verify

@@ -1,0 +1,47 @@
+// Greedy scenario shrinking and repro emission.
+//
+// On an invariant failure the shrinker minimizes the scenario while the
+// failure persists: drop whole shapes (collapse layers), drop holes and
+// L-cuts, normalize stretched lattices, drop ports, halve and then decrement
+// cell counts. Every candidate is re-validated and re-checked through the
+// caller's predicate, so the final scenario is the smallest one (under these
+// moves) that still fails — the form a human wants to debug and the form the
+// emitted regression snippet pins down.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "verify/invariants.hpp"
+#include "verify/scenario.hpp"
+
+namespace pgsi::verify {
+
+/// Returns true when the candidate still exhibits the failure under
+/// investigation. Candidates that throw are treated as not failing (the
+/// shrinker never trades one bug for a different crash).
+using FailPredicate = std::function<bool(const PlaneScenario&)>;
+
+struct ShrinkResult {
+    PlaneScenario scenario;  ///< smallest still-failing scenario found
+    int moves_tried = 0;
+    int moves_kept = 0;
+};
+
+/// Greedily minimize `start` (which must satisfy `still_fails`).
+ShrinkResult shrink_scenario(const PlaneScenario& start,
+                             const FailPredicate& still_fails);
+
+/// Paths of an emitted repro pair.
+struct ReproPaths {
+    std::string cpp_path;
+    std::string board_path;
+};
+
+/// Write `<dir>/<tag>.cpp` (tests/-ready gtest snippet) and `<dir>/<tag>.board`
+/// for the given scenario and failure; creates `dir` if needed.
+ReproPaths write_repro(const std::string& dir, const std::string& tag,
+                       const PlaneScenario& scenario,
+                       const CheckResult& failure);
+
+} // namespace pgsi::verify

@@ -3,6 +3,7 @@
 
 #include "common/parallel.hpp"
 #include "em/bem_plane.hpp"
+#include "tests/test_util.hpp"
 
 using namespace pgsi;
 
@@ -121,13 +122,14 @@ TEST(BemCache, ForcedCacheOnNonUniformMeshThrows) {
 // Assembly results must be bit-identical at any thread count: work is
 // partitioned over disjoint outputs with a fixed per-entry evaluation order.
 TEST(BemCache, ResultsInvariantAcrossThreadCounts) {
+    pgsi::test::ScopedThreadCount pin(1);
     for (const AssemblyMode mode : {AssemblyMode::Direct, AssemblyMode::Cached}) {
-        par::set_thread_count(1);
+        pin.repin(1);
         const PlaneBem one = make(holey_mesh(), mode);
         const MatrixD p1 = one.potential_matrix();
         const MatrixD l1 = one.inductance_matrix();
         for (const std::size_t threads : {2u, 8u}) {
-            par::set_thread_count(threads);
+            pin.repin(threads);
             const PlaneBem many = make(holey_mesh(), mode);
             const MatrixD& pn = many.potential_matrix();
             const MatrixD& ln = many.inductance_matrix();
@@ -144,5 +146,4 @@ TEST(BemCache, ResultsInvariantAcrossThreadCounts) {
                                << " threads=" << threads;
         }
     }
-    par::set_thread_count(0);
 }

@@ -97,3 +97,54 @@ TEST(BoardFile, DriverValidation) {
                          "driver d0 vcc 0.05 0.05 ron_up 20 x y z\n"),
         InvalidArgument);
 }
+
+namespace {
+
+void expect_board_error(const std::string& text, int line,
+                        const std::string& fragment) {
+    try {
+        parse_board_file(text);
+        FAIL() << "expected board file error containing '" << fragment << "'";
+    } catch (const InvalidArgument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+}
+
+} // namespace
+
+TEST(BoardFile, RejectsNonPositiveDimensions) {
+    expect_board_error("board 0 0.1\nstackup sep 1m\n", 1,
+                       "board width must be positive");
+    expect_board_error("board 0.1 -0.1\nstackup sep 1m\n", 1,
+                       "board height must be positive");
+}
+
+TEST(BoardFile, RejectsNonPositiveStackupValues) {
+    expect_board_error("board 0.1 0.1\nstackup sep -1m\n", 2,
+                       "stackup sep must be positive");
+    expect_board_error("board 0.1 0.1\nstackup sep 1m eps 0\n", 2,
+                       "stackup eps must be positive");
+    expect_board_error("board 0.1 0.1\nstackup sep 1m sheet -2m\n", 2,
+                       "stackup sheet must be positive");
+}
+
+TEST(BoardFile, RejectsNonPositiveDecapCapacitance) {
+    expect_board_error(
+        "board 0.1 0.1\nstackup sep 1m\ndecap 0.05 0.05 c -100n\n", 3,
+        "decap c must be positive");
+}
+
+TEST(BoardFile, RejectsDuplicateDriverNames) {
+    expect_board_error("board 0.1 0.1\nstackup sep 1m\n"
+                       "driver d0 vcc 0.02 0.02 gnd 0.03 0.02\n"
+                       "driver d0 vcc 0.06 0.06 gnd 0.07 0.06\n",
+                       4, "duplicate driver name 'd0'");
+}
+
+TEST(BoardFile, BadNumberCarriesLine) {
+    expect_board_error("board 0.1 0.1\nstackup sep 1m\nstitch 0.05 mid\n", 3,
+                       "bad number 'mid'");
+}

@@ -6,6 +6,7 @@
 #include "common/constants.hpp"
 #include "common/parallel.hpp"
 #include "numeric/fft.hpp"
+#include "tests/test_util.hpp"
 
 using namespace pgsi;
 
@@ -123,16 +124,15 @@ TEST(Fft, TwoDimensionalBitwiseInvariantAcrossThreadCounts) {
     const VectorC grid = random_signal(ny * nx, 23u);
     const Fft fy(ny), fx(nx);
 
-    par::set_thread_count(1);
+    pgsi::test::ScopedThreadCount pin(1);
     VectorC base = grid;
     fft_2d(base.data(), ny, nx, fy, fx, false);
 
     for (const unsigned threads : {2u, 8u}) {
-        par::set_thread_count(threads);
+        pin.repin(threads);
         VectorC got = grid;
         fft_2d(got.data(), ny, nx, fy, fx, false);
         for (std::size_t i = 0; i < got.size(); ++i)
             EXPECT_EQ(got[i], base[i]) << "thread count " << threads;
     }
-    par::set_thread_count(0);
 }

@@ -4,6 +4,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "em/iterative_solver.hpp"
+#include "tests/test_util.hpp"
 #include "em/solver.hpp"
 
 using namespace pgsi;
@@ -155,7 +156,7 @@ TEST(IterativeSolver, ResultsInvariantAcrossThreadCounts) {
     const SurfaceImpedance zs = SurfaceImpedance::from_sheet_resistance(1e-3);
     const VectorD freqs{1e8, 1e9};
 
-    par::set_thread_count(1);
+    pgsi::test::ScopedThreadCount pin(1);
     std::vector<MatrixC> base;
     {
         const PlaneBem bem = make_bem(holey_mesh());
@@ -166,7 +167,7 @@ TEST(IterativeSolver, ResultsInvariantAcrossThreadCounts) {
                    .sweep_impedance(freqs, ports);
     }
     for (const unsigned threads : {2u, 8u}) {
-        par::set_thread_count(threads);
+        pin.repin(threads);
         const PlaneBem bem = make_bem(holey_mesh());
         const std::vector<std::size_t> ports{
             bem.mesh().nearest_node({0.002, 0.002}, 0),
@@ -179,7 +180,6 @@ TEST(IterativeSolver, ResultsInvariantAcrossThreadCounts) {
                     EXPECT_EQ(got[i](r, c), base[i](r, c))
                         << "threads " << threads << " f " << freqs[i];
     }
-    par::set_thread_count(0);
 }
 
 TEST(MakeSolver, AutoSelectsBySizeAndLattice) {

@@ -4,6 +4,7 @@
 #include <random>
 
 #include "numeric/lu.hpp"
+#include "tests/test_util.hpp"
 
 using namespace pgsi;
 
@@ -162,10 +163,10 @@ TEST(Lu, SolveBitIdenticalAcrossThreadCounts) {
     MatrixD b(n, k);
     for (int i = 0; i < n; ++i)
         for (int j = 0; j < k; ++j) b(i, j) = u(rng);
-    par::set_thread_count(1);
+    pgsi::test::ScopedThreadCount pin(1);
     const MatrixD x1 = Lu<double>(a).solve(b);
     for (const std::size_t threads : {2u, 8u}) {
-        par::set_thread_count(threads);
+        pin.repin(threads);
         const MatrixD xn = Lu<double>(a).solve(b);
         double d = 0;
         for (int i = 0; i < n; ++i)
@@ -173,7 +174,6 @@ TEST(Lu, SolveBitIdenticalAcrossThreadCounts) {
                 d = std::max(d, std::abs(x1(i, j) - xn(i, j)));
         EXPECT_EQ(d, 0.0) << "threads=" << threads;
     }
-    par::set_thread_count(0);
 }
 
 TEST(Lu, SolveCountersDistinguishCallsFromColumns) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "numeric/matrix.hpp"
+#include "tests/test_util.hpp"
 
 using namespace pgsi;
 
@@ -185,10 +186,10 @@ TEST(Gemm, BlockedMatchesNaiveComplex) {
 TEST(Gemm, ProductBitIdenticalAcrossThreadCounts) {
     const MatrixD a = random_matrix(120, 90, 7);
     const MatrixD b = random_matrix(90, 110, 8);
-    pgsi::par::set_thread_count(1);
+    pgsi::test::ScopedThreadCount pin(1);
     const MatrixD c1 = a * b;
     for (const std::size_t threads : {2u, 8u}) {
-        pgsi::par::set_thread_count(threads);
+        pin.repin(threads);
         const MatrixD cn = a * b;
         double d = 0;
         for (std::size_t i = 0; i < c1.rows(); ++i)
@@ -196,5 +197,4 @@ TEST(Gemm, ProductBitIdenticalAcrossThreadCounts) {
                 d = std::max(d, std::abs(c1(i, j) - cn(i, j)));
         EXPECT_EQ(d, 0.0) << "threads=" << threads;
     }
-    pgsi::par::set_thread_count(0);
 }

@@ -161,3 +161,71 @@ TEST(Parser, SubcktErrors) {
 TEST(Parser, UnsupportedElementThrows) {
     EXPECT_THROW(parse_spice("t\nQ1 a b c model\n.end\n"), InvalidArgument);
 }
+
+namespace {
+
+// Expects parse_spice(deck) to throw InvalidArgument whose message carries
+// both the expected line number and a message fragment.
+void expect_parse_error(const std::string& deck, int line,
+                        const std::string& fragment) {
+    try {
+        parse_spice(deck);
+        FAIL() << "expected parse error containing '" << fragment << "'";
+    } catch (const InvalidArgument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+}
+
+} // namespace
+
+TEST(Parser, BadNumericValueCarriesLine) {
+    expect_parse_error("deck\nR1 a 0 1k\nC1 a 0 tenpf\n.end\n", 3,
+                       "bad numeric token");
+}
+
+TEST(Parser, OutOfRangeValuesCarryLine) {
+    // Netlist-level validation surfaces with the offending line attached.
+    expect_parse_error("deck\nR1 a 0 0\n.end\n", 2, "must be nonzero");
+    expect_parse_error("deck\nC1 a 0 0\n.end\n", 2, "must be nonzero");
+    expect_parse_error("deck\nL1 a 0 1n\nL2 a 0 1n\nK1 L1 L2 1.5\n.end\n", 4,
+                       "|k| must be < 1");
+}
+
+TEST(Parser, DuplicateElementNamesRejected) {
+    expect_parse_error("deck\nR1 a 0 1k\nR1 a 0 2k\n.end\n", 3,
+                       "duplicate element name 'R1'");
+    // Case-insensitive: SPICE element names are not case sensitive.
+    expect_parse_error("deck\nC3 a 0 1p\nc3 b 0 2p\n.end\n", 3,
+                       "duplicate element name");
+}
+
+TEST(Parser, DuplicateNamesAcrossSubcktInstancesAllowed) {
+    // Each instance gets its own namespace prefix; the same local name in
+    // two instances must not collide.
+    const std::string deck = R"(hierarchy
+.subckt cell a b
+R1 a b 1k
+.ends
+X1 in mid cell
+X2 mid out cell
+.end
+)";
+    const ParsedDeck d = parse_spice(deck);
+    EXPECT_EQ(d.netlist.resistors().size(), 2u);
+}
+
+TEST(Parser, UnterminatedSubcktCarriesLine) {
+    expect_parse_error("deck\n.subckt cell a b\nR1 a b 1k\n.end\n", 4,
+                       "unterminated .subckt 'cell'");
+}
+
+TEST(Parser, MalformedCardsCarryLine) {
+    expect_parse_error("deck\nV1 in\n.end\n", 2, "V needs");
+    expect_parse_error("deck\nR1 a 0 1k\nQ1 a b c\n.end\n", 3,
+                       "unsupported element");
+    expect_parse_error("deck\nV1 in 0 PULSE(0 1 0 1n)\n.end\n", 2,
+                       "PULSE needs 7 values");
+}

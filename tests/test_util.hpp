@@ -1,0 +1,26 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstddef>
+
+#include "common/parallel.hpp"
+
+namespace pgsi::test {
+
+// Pins the pool thread count for the lifetime of the guard and restores the
+// automatic default on destruction. Exception-safe: a failing ASSERT or a
+// throw inside the pinned region can no longer leak a pinned count into
+// later tests in the same binary.
+class ScopedThreadCount {
+public:
+    explicit ScopedThreadCount(std::size_t n) { par::set_thread_count(n); }
+    ~ScopedThreadCount() { par::set_thread_count(0); }
+
+    ScopedThreadCount(const ScopedThreadCount&) = delete;
+    ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+    // Re-pin within the same guarded region.
+    void repin(std::size_t n) { par::set_thread_count(n); }
+};
+
+} // namespace pgsi::test
