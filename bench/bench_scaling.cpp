@@ -12,10 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <vector>
+
 #include "common/parallel.hpp"
 #include "em/iterative_solver.hpp"
 #include "em/solver.hpp"
 #include "extract/equivalent_circuit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 
 using namespace pgsi;
 
@@ -65,19 +69,22 @@ double max_rel_diff(const std::vector<MatrixC>& a,
 // downstream dense-solver stages, and a short DirectSolver frequency sweep.
 // Committed as BENCH_scaling.json so trajectories across commits resolve
 // which stage moved.
-void write_scaling_json(const char* path) {
+void write_scaling_json(const char* path, bool smoke) {
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
         std::fprintf(stderr, "cannot open %s for writing\n", path);
         return;
     }
-    std::printf("=== scaling record -> %s (threads=%zu) ===\n", path,
-                par::thread_count());
+    std::printf("=== scaling record -> %s (threads=%zu%s) ===\n", path,
+                par::thread_count(), smoke ? ", smoke" : "");
     std::fprintf(f, "{\n  \"bench\": \"scaling\",\n  \"threads\": %zu,\n",
                  par::thread_count());
     std::fprintf(f, "  \"cases\": [\n");
-    const int sizes[] = {6, 10, 14, 18, 24};
-    const std::size_t nsizes = sizeof(sizes) / sizeof(sizes[0]);
+    // The smoke subset (PGSI_BENCH_SMOKE) keeps the per-size labels of the
+    // full run so bench_compare matches its cases against the golden by "n".
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{6, 10, 14} : std::vector<int>{6, 10, 14, 18, 24};
+    const std::size_t nsizes = sizes.size();
     for (std::size_t si = 0; si < nsizes; ++si) {
         const int n = sizes[si];
 
@@ -141,8 +148,9 @@ void write_scaling_json(const char* path) {
     // direct backend's dense factorizations (the crossover the Auto backend
     // selection is tuned against).
     std::fprintf(f, "  \"backends\": [\n");
-    const int bsizes[] = {12, 18, 24, 34, 48};
-    const std::size_t nb = sizeof(bsizes) / sizeof(bsizes[0]);
+    const std::vector<int> bsizes =
+        smoke ? std::vector<int>{12, 18} : std::vector<int>{12, 18, 24, 34, 48};
+    const std::size_t nb = bsizes.size();
     for (std::size_t si = 0; si < nb; ++si) {
         const int n = bsizes[si];
         const PlaneBem bem = make_plane(n);
@@ -161,9 +169,12 @@ void write_scaling_json(const char* path) {
         SolverOptions iopt;
         iopt.backend = SolverBackend::Iterative;
         const IterativeSolver iterative(bem, zs, iopt);
+        const std::uint64_t restarts0 = obs::counter("gmres.restarts").value();
         t0 = std::chrono::steady_clock::now();
         const auto zi = iterative.sweep_impedance(freqs, ports);
         const double iterative_s = seconds_since(t0);
+        const std::uint64_t restarts =
+            obs::counter("gmres.restarts").value() - restarts0;
 
         const double rel_err = max_rel_diff(zi, zd);
         const IterativeSolverStats& st = iterative.stats();
@@ -173,19 +184,37 @@ void write_scaling_json(const char* path) {
                      "     \"direct_s\": %.6f, \"iterative_s\": %.6f, "
                      "\"speedup\": %.2f, \"z_rel_err\": %.3e,\n"
                      "     \"gmres_iterations\": %zu, \"gmres_matvecs\": %zu, "
-                     "\"worst_residual\": %.3e}%s\n",
+                     "\"gmres_restarts\": %llu, \"worst_residual\": %.3e}%s\n",
                      n, bem.node_count(), bem.mesh().branch_count(),
                      freqs.size(), direct_s, iterative_s,
                      direct_s / std::max(iterative_s, 1e-9), rel_err,
-                     st.iterations, st.matvecs, st.worst_residual,
-                     si + 1 < nb ? "," : "");
+                     st.iterations, st.matvecs,
+                     static_cast<unsigned long long>(restarts),
+                     st.worst_residual, si + 1 < nb ? "," : "");
         std::printf("  n=%2d backends: direct %.3fs / iterative %.3fs "
                     "(%.1fx), z rel err %.1e, %zu gmres iters\n",
                     n, direct_s, iterative_s,
                     direct_s / std::max(iterative_s, 1e-9), rel_err,
                     st.iterations);
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+
+    // Process-level resource accounting (obs/resource): allocation pressure
+    // and pool dispatch counts are deterministic per build and gate cheaply;
+    // peak RSS is recorded for trending but skipped by the gate (it depends
+    // on the machine).
+    const obs::MetricsSnapshot ms = obs::metrics_snapshot();
+    const par::PoolStats ps = par::pool_stats();
+    std::fprintf(f,
+                 "  \"resources\": {\"peak_rss_bytes\": %llu, "
+                 "\"matrix_alloc_count\": %llu, \"matrix_alloc_bytes\": %llu, "
+                 "\"par_jobs\": %llu}\n}\n",
+                 static_cast<unsigned long long>(obs::peak_rss_bytes()),
+                 static_cast<unsigned long long>(
+                     ms.counter_value("alloc.matrix.count")),
+                 static_cast<unsigned long long>(
+                     ms.counter_value("alloc.matrix.bytes")),
+                 static_cast<unsigned long long>(ps.jobs));
     std::fclose(f);
     std::printf("\n");
 }
@@ -273,10 +302,16 @@ BENCHMARK(BM_full_pipeline)->Arg(6)->Arg(10)->Arg(14)->Arg(18)
 } // namespace
 
 int main(int argc, char** argv) {
-    print_experiment();
+    // Feeds the "resources" section of the JSON record.
+    obs::set_resources_enabled(true);
+    // PGSI_BENCH_SMOKE runs a reduced size subset and skips the exploratory
+    // output — just enough signal for bench_compare to gate a commit.
+    const bool smoke = std::getenv("PGSI_BENCH_SMOKE") != nullptr;
+    if (!smoke) print_experiment();
     // PGSI_BENCH_JSON overrides the output path (default: cwd).
     const char* json_path = std::getenv("PGSI_BENCH_JSON");
-    write_scaling_json(json_path ? json_path : "BENCH_scaling.json");
+    write_scaling_json(json_path ? json_path : "BENCH_scaling.json", smoke);
+    if (smoke) return 0;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

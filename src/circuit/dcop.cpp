@@ -6,6 +6,8 @@
 #include "common/robust.hpp"
 #include "numeric/lu.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/stream.hpp"
 
 namespace pgsi {
 
@@ -97,6 +99,13 @@ VectorD dc_newton(const Netlist& nl, const MnaLayout& lay, VectorD& table_v,
             "dc_operating_point: Newton iteration did not converge "
             "(injected divergence, fault site dcop.diverge)");
     const std::size_t ntab = nl.table_conductances().size();
+    PGSI_ALLOC_SCOPE("circuit.dcop");
+    // Convergence stream: the worst table-voltage residual per Newton
+    // iteration; one series per dc_newton call (continuation levels each
+    // get their own). Linear netlists iterate zero times and record none.
+    const std::size_t sid = ntab > 0 && obs::streams_enabled()
+                                ? obs::stream_open("dcop.newton")
+                                : obs::kStreamNone;
     VectorD x;
     constexpr int kMaxNewton = 60;
     for (int iter = 0;; ++iter) {
@@ -115,6 +124,8 @@ VectorD dc_newton(const Netlist& nl, const MnaLayout& lay, VectorD& table_v,
             // Damped update improves robustness across table breakpoints.
             table_v[k] += 0.8 * (v - table_v[k]);
         }
+        if (sid != obs::kStreamNone)
+            obs::stream_append(sid, static_cast<double>(iter), worst);
         if (worst < 1e-9) break;
         if (iter >= kMaxNewton)
             throw NumericalError(

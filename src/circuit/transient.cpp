@@ -7,6 +7,8 @@
 #include "common/robust.hpp"
 #include "numeric/lu.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi {
@@ -67,6 +69,15 @@ struct TransientStepper::Impl {
     bool lu_valid = false;
 
     std::size_t step_count = 0;
+
+    // Convergence streams (kStreamNone while recording is off; the opened_
+    // flag keeps a capped-out recorder from re-opening every step).
+    std::size_t newton_sid = obs::kStreamNone;   // Newton iterations per step
+    std::size_t residual_sid = obs::kStreamNone; // final Newton residual
+    std::size_t dt_sid = obs::kStreamNone;       // effective step size
+    bool streams_opened = false;
+    double last_newton_worst = 0;     // residual at Newton termination
+    std::size_t last_step_substeps = 1; // > 1 when recover_step cut the step
     VectorD x;           // last MNA solution
     VectorD node_v_now;  // indexed by NodeId
     TransientStats stats;
@@ -75,6 +86,7 @@ struct TransientStepper::Impl {
          const robust::RecoveryOptions& ropt_in)
         : nl(netlist), dt(dt_in), method(method_in), ropt(ropt_in),
           lay(netlist) {
+        PGSI_ALLOC_SCOPE("circuit.transient");
         PGSI_REQUIRE(dt > 0, "TransientStepper: dt must be positive");
         PGSI_REQUIRE(nl.sparam_blocks().empty(),
                      "TransientStepper: S-parameter blocks are AC-only; fit "
@@ -317,9 +329,13 @@ struct TransientStepper::Impl {
             if (ok) {
                 set_dt(dt_full);
                 ++stats.timestep_cuts;
+                last_step_substeps = nsub;
                 static obs::Counter& cuts =
                     obs::counter("transient.timestep_cuts");
                 ++cuts;
+                if (newton_sid != obs::kStreamNone)
+                    obs::stream_mark(newton_sid, step_count * dt_full,
+                                     "timestep_cut:" + std::to_string(nsub));
                 robust::note_recovery(
                     &report, "transient.timestep_cut",
                     "step to t = " + std::to_string(step_count * dt_full) +
@@ -335,6 +351,15 @@ struct TransientStepper::Impl {
 
     void advance() {
         const auto wall0 = std::chrono::steady_clock::now();
+        PGSI_ALLOC_SCOPE("circuit.transient");
+        if (!streams_opened && obs::streams_enabled()) {
+            streams_opened = true;
+            newton_sid = obs::stream_open("transient.newton");
+            residual_sid = obs::stream_open("transient.residual");
+            dt_sid = obs::stream_open("transient.dt");
+        }
+        const std::size_t newton0 = stats.newton_iterations;
+        last_step_substeps = 1;
         ++step_count;
         const double t = step_count * dt;
         const Integrator m = (step_count == 1) ? Integrator::BackwardEuler : method;
@@ -356,6 +381,8 @@ struct TransientStepper::Impl {
                 static obs::Counter& rejections =
                     obs::counter("transient.step_rejections");
                 ++rejections;
+                if (newton_sid != obs::kStreamNone)
+                    obs::stream_mark(newton_sid, t, "be_retry");
                 recovered = attempt(t, Integrator::BackwardEuler);
             }
             if (!recovered && can_cut) recovered = recover_step(snap);
@@ -371,6 +398,16 @@ struct TransientStepper::Impl {
             }
         }
         ++stats.steps;
+        if (newton_sid != obs::kStreamNone)
+            obs::stream_append(
+                newton_sid, t,
+                static_cast<double>(stats.newton_iterations - newton0));
+        if (residual_sid != obs::kStreamNone)
+            obs::stream_append(residual_sid, t, last_newton_worst);
+        if (dt_sid != obs::kStreamNone)
+            obs::stream_append(
+                dt_sid, t,
+                dt / static_cast<double>(last_step_substeps));
         stats.wall_seconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           wall0)
@@ -430,6 +467,7 @@ struct TransientStepper::Impl {
         // Solve, with Newton iteration over the table elements when present.
         const std::size_t ntab = nl.table_conductances().size();
         constexpr int kMaxNewton = 40;
+        last_newton_worst = 0;
         for (int iter = 0;; ++iter) {
             VectorD table_g(ntab);
             VectorD rhs_nl = rhs;
@@ -463,6 +501,7 @@ struct TransientStepper::Impl {
                 worst = std::max(worst, std::abs(v - table_v[k]));
                 table_v[k] += 0.8 * (v - table_v[k]);
             }
+            last_newton_worst = worst;
             if (worst < 1e-9) break;
             if (iter >= kMaxNewton) return false;
         }

@@ -1,18 +1,31 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
 
 namespace pgsi::par {
 
 namespace {
 
 thread_local bool t_in_region = false;
+
+std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 // One parallel_for invocation: an atomic cursor over [0, n) plus completion
 // bookkeeping. Workers (and the caller) pull chunks until the cursor passes
@@ -88,6 +101,8 @@ public:
         job.n = n;
         job.grain = grain;
         job.body = &body;
+        const bool account = obs::resources_enabled();
+        if (account) note_dispatch(n, grain);
         const std::size_t nworkers = workers_.size();
         if (nworkers > 0 && n > grain) {
             {
@@ -98,23 +113,75 @@ public:
             }
             work_cv_.notify_all();
             t_in_region = true;
-            job.run_chunks();
+            run_chunks_timed(job, 0, account);
             t_in_region = false;
             std::unique_lock<std::mutex> lock(mu_);
             done_cv_.wait(lock, [&] { return workers_done_ == nworkers; });
             job_ = nullptr;
         } else {
             t_in_region = true;
-            job.run_chunks();
+            run_chunks_timed(job, 0, account);
             t_in_region = false;
         }
         if (job.error) std::rethrow_exception(job.error);
     }
 
+    PoolStats stats() {
+        const std::lock_guard<std::mutex> lock(region_mu_);
+        PoolStats s;
+        s.threads = threads();
+        s.jobs = jobs_.load(std::memory_order_relaxed);
+        s.items = items_.load(std::memory_order_relaxed);
+        s.wall_ns = steady_now_ns() - stats_epoch_ns_.load(std::memory_order_relaxed);
+        s.busy_ns.resize(s.threads, 0);
+        for (std::size_t i = 0; i < s.threads && i < kMaxSlots; ++i)
+            s.busy_ns[i] = busy_ns_[i].load(std::memory_order_relaxed);
+        return s;
+    }
+
+    void reset_stats() {
+        const std::lock_guard<std::mutex> lock(region_mu_);
+        jobs_.store(0, std::memory_order_relaxed);
+        items_.store(0, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < kMaxSlots; ++i)
+            busy_ns_[i].store(0, std::memory_order_relaxed);
+        stats_epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    }
+
 private:
-    Pool() {
+    Pool() : busy_ns_(kMaxSlots) {
+        stats_epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
         threads_configured_.store(auto_thread_count(), std::memory_order_relaxed);
         start_workers();
+    }
+
+    // Slot-attributed busy time. Gated on the caller's resources_enabled()
+    // check so the job-free hot path stays two clock reads at most.
+    void run_chunks_timed(Job& job, std::size_t slot, bool account) noexcept {
+        if (!account) {
+            job.run_chunks();
+            return;
+        }
+        const std::uint64_t t0 = steady_now_ns();
+        job.run_chunks();
+        const std::uint64_t t1 = steady_now_ns();
+        if (slot < kMaxSlots)
+            busy_ns_[slot].fetch_add(t1 - t0, std::memory_order_relaxed);
+    }
+
+    void note_dispatch(std::size_t n, std::size_t grain) noexcept {
+        jobs_.fetch_add(1, std::memory_order_relaxed);
+        items_.fetch_add(n, std::memory_order_relaxed);
+        try {
+            // Queue depth at dispatch = chunks this job fans out into.
+            static obs::Counter& jobs = obs::counter("par.jobs");
+            static obs::Histogram& chunks = obs::histogram("par.chunks_per_job");
+            static obs::Histogram& items = obs::histogram("par.items_per_job");
+            ++jobs;
+            chunks.record(static_cast<double>((n + grain - 1) / grain));
+            items.record(static_cast<double>(n));
+        } catch (...) {
+        }
     }
 
     ~Pool() {
@@ -138,7 +205,7 @@ private:
         const std::size_t nworkers = configured > 0 ? configured - 1 : 0;
         workers_.reserve(nworkers);
         for (std::size_t i = 0; i < nworkers; ++i)
-            workers_.emplace_back([this, gen] { worker_loop(gen); });
+            workers_.emplace_back([this, gen, i] { worker_loop(gen, i + 1); });
     }
 
     void stop_workers() {
@@ -155,7 +222,8 @@ private:
     // (no job can be in flight then — reconfiguration holds region_mu_).
     // generation_ outlives reconfiguration, so starting from zero would make
     // a fresh worker mistake an already-retired job_ (nullptr) for new work.
-    void worker_loop(std::uint64_t seen) {
+    void worker_loop(std::uint64_t seen, std::size_t slot) {
+        obs::set_thread_name("par.worker-" + std::to_string(slot));
         for (;;) {
             Job* job = nullptr;
             {
@@ -167,7 +235,7 @@ private:
                 job = job_;
             }
             t_in_region = true;
-            job->run_chunks();
+            run_chunks_timed(*job, slot, obs::resources_enabled());
             t_in_region = false;
             {
                 const std::lock_guard<std::mutex> lock(mu_);
@@ -180,6 +248,14 @@ private:
     std::mutex region_mu_; // serializes top-level parallel_fors + reconfig
     std::atomic<std::size_t> threads_configured_{1};
     std::vector<std::thread> workers_;
+
+    // Utilization accounting (PoolStats). Sized once for the clamp limit of
+    // parse_thread_count so reconfiguration never reallocates under foot.
+    static constexpr std::size_t kMaxSlots = 1025; // caller slot + 1024 workers
+    std::vector<std::atomic_uint64_t> busy_ns_;
+    std::atomic_uint64_t jobs_{0};
+    std::atomic_uint64_t items_{0};
+    std::atomic_uint64_t stats_epoch_ns_{0};
 
     std::mutex mu_; // guards the fields below
     std::condition_variable work_cv_;
@@ -205,6 +281,10 @@ std::size_t thread_count() { return Pool::instance().threads(); }
 void set_thread_count(std::size_t n) { Pool::instance().set_threads(n); }
 
 bool in_parallel_region() noexcept { return t_in_region; }
+
+PoolStats pool_stats() { return Pool::instance().stats(); }
+
+void reset_pool_stats() { Pool::instance().reset_stats(); }
 
 namespace detail {
 

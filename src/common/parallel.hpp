@@ -29,7 +29,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace pgsi::par {
 
@@ -50,6 +52,27 @@ bool in_parallel_region() noexcept;
 /// [1, 1024], or `fallback` when value is null/empty/non-numeric/zero.
 /// Exposed for tests.
 std::size_t parse_thread_count(const char* value, std::size_t fallback) noexcept;
+
+/// Pool utilization since the last reset_pool_stats() (or process start).
+/// Busy time is accumulated per slot only while obs::resources_enabled()
+/// — the flight recorder turns it on; it stays zero otherwise. Slot 0
+/// aggregates the calling threads' share of every top-level parallel_for;
+/// slots 1..threads-1 are the persistent workers. Idle time per worker is
+/// wall_ns - busy_ns[slot].
+struct PoolStats {
+    std::size_t threads = 0;          ///< configured thread count
+    std::uint64_t jobs = 0;           ///< top-level parallel_for dispatches
+    std::uint64_t items = 0;          ///< total indices across those jobs
+    std::uint64_t wall_ns = 0;        ///< wall time this snapshot covers
+    std::vector<std::uint64_t> busy_ns; ///< per-slot busy time, size threads
+};
+
+/// Snapshot the pool utilization counters. Safe from any thread, but not
+/// from inside a parallel_for body.
+PoolStats pool_stats();
+
+/// Zero the utilization counters and restart the wall clock.
+void reset_pool_stats();
 
 namespace detail {
 /// Run body(begin, end) over a partition of [0, n) into chunks of size

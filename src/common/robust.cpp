@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 
 namespace pgsi::robust {
 
@@ -36,6 +37,19 @@ void note_recovery(RecoveryReport* report, std::string_view site,
     static obs::Counter& total = obs::counter("robust.recoveries");
     ++total;
     ++obs::counter(std::string("robust.") + std::string(site));
+    if (obs::streams_enabled()) {
+        // Flight-recorder timeline: every recovery in the process, in
+        // order, as marks on one well-known series. The cached id goes
+        // stale at reset_streams(); a fresh series is opened on the next
+        // recovery after that.
+        static std::mutex mu;
+        static std::size_t sid = obs::kStreamNone;
+        static std::uint64_t seq = 0;
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!obs::stream_live(sid)) sid = obs::stream_open("robust.timeline");
+        obs::stream_mark(sid, static_cast<double>(seq), site);
+        ++seq;
+    }
     if (report) report->events.push_back({std::string(site), std::move(detail)});
 }
 

@@ -11,6 +11,7 @@
 #include "numeric/lu.hpp"
 #include "numeric/quadrature.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi {
@@ -91,6 +92,7 @@ obs::Counter& cache_entry_counter() {
 
 void PlaneBem::assemble_potential() const {
     PGSI_TRACE_SCOPE("bem.fill.potential");
+    PGSI_ALLOC_SCOPE("em.assembly");
     StageTimer timer(stats_.potential_seconds);
     const auto& nodes = mesh_.nodes();
     const std::size_t n = nodes.size();
@@ -154,6 +156,7 @@ const MatrixD& PlaneBem::maxwell_capacitance() const {
     if (!cmax_) {
         const MatrixD& p = potential_matrix();
         PGSI_TRACE_SCOPE("bem.invert.potential");
+        PGSI_ALLOC_SCOPE("em.assembly");
         StageTimer timer(stats_.capacitance_seconds);
         try {
             cmax_ = Cholesky(p).inverse();
@@ -168,6 +171,7 @@ const MatrixD& PlaneBem::maxwell_capacitance() const {
 
 void PlaneBem::assemble_inductance() const {
     PGSI_TRACE_SCOPE("bem.fill.inductance");
+    PGSI_ALLOC_SCOPE("em.assembly");
     StageTimer timer(stats_.inductance_seconds);
     const auto& branches = mesh_.branches();
     const std::size_t m = branches.size();
@@ -267,6 +271,7 @@ const MatrixD& PlaneBem::gamma() const {
     if (!gamma_) {
         const MatrixD& l = inductance_matrix();
         PGSI_TRACE_SCOPE("bem.gamma");
+        PGSI_ALLOC_SCOPE("em.assembly");
         StageTimer timer(stats_.gamma_seconds);
         const MatrixD a = incidence_dense();
         // X = L⁻¹ P, then Γ = Pᵀ X accumulated through the sparse incidence.

@@ -12,6 +12,8 @@
 #include "common/robust.hpp"
 #include "numeric/lu.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi {
@@ -36,6 +38,7 @@ IterativeSolver::IterativeSolver(const PlaneBem& bem, SurfaceImpedance zs,
 void IterativeSolver::ensure_setup() const {
     if (setup_done_) return;
     PGSI_TRACE_SCOPE("em.iterative.setup");
+    PGSI_ALLOC_SCOPE("em.iterative");
     const auto t0 = std::chrono::steady_clock::now();
     // Force the lazy operator builds (kernel spectra or dense fallbacks)
     // before any solve fans out over the pool.
@@ -80,6 +83,7 @@ void IterativeSolver::ensure_setup() const {
 
 MatrixC IterativeSolver::solve_ports(
     double freq_hz, const std::vector<std::size_t>& port_nodes) const {
+    PGSI_ALLOC_SCOPE("em.iterative");
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
     const Complex inv_jw = 1.0 / jw;
@@ -179,6 +183,13 @@ MatrixC IterativeSolver::solve_ports(
     std::size_t iters = 0, matvecs = 0, restarts = 0;
     std::size_t escalations = 0;
     double worst = 0;
+    // Convergence stream: GMRES iterations per port column at this
+    // frequency, with marks where the preconditioner ladder escalated.
+    const std::size_t sid = obs::streams_enabled()
+                                ? obs::stream_open("em.iterative.columns")
+                                : obs::kStreamNone;
+    if (sid != obs::kStreamNone)
+        obs::stream_mark(sid, 0.0, "f=" + std::to_string(freq_hz) + "Hz");
     for (std::size_t k = 0; k < p; ++k) {
         // b = (1/jw) P Ppot e_port — the port's unit current injection.
         std::fill(tnode.begin(), tnode.end(), Complex{});
@@ -201,6 +212,9 @@ MatrixC IterativeSolver::solve_ports(
             kind = PreconditionerKind::NearFieldBlock;
             build_precond(kind);
             ++escalations;
+            if (sid != obs::kStreamNone)
+                obs::stream_mark(sid, static_cast<double>(k),
+                                 "escalate:near_field_block");
             robust::note_recovery(
                 &local_report, "em.precond_escalation",
                 "GMRES stalled at residual " + std::to_string(gr.residual) +
@@ -216,6 +230,9 @@ MatrixC IterativeSolver::solve_ports(
         }
         // Escalation rung 2: dense LU for the whole frequency point.
         if (bad && recover && options_.recovery.allow_dense_fallback) {
+            if (sid != obs::kStreamNone)
+                obs::stream_mark(sid, static_cast<double>(k),
+                                 "escalate:dense_fallback");
             robust::note_recovery(
                 &local_report, "em.dense_fallback",
                 "GMRES stalled at residual " + std::to_string(gr.residual) +
@@ -241,6 +258,9 @@ MatrixC IterativeSolver::solve_ports(
                 std::to_string(freq_hz) + " Hz, port node " +
                 std::to_string(port_nodes[k]));
         worst = std::max(worst, gr.residual);
+        if (sid != obs::kStreamNone)
+            obs::stream_append(sid, static_cast<double>(k),
+                               static_cast<double>(gr.iterations));
 
         // V = (1/jw) Ppot (J − Pᵀ I); Z(q, k) = V at port q.
         std::fill(tnode.begin(), tnode.end(), Complex{});

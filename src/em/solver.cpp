@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "numeric/lu.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi {
@@ -26,6 +27,7 @@ DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs)
 MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     PGSI_REQUIRE(freq_hz > 0, "DirectSolver: frequency must be positive");
     PGSI_TRACE_SCOPE("em.solve.nodal_admittance");
+    PGSI_ALLOC_SCOPE("em.solve");
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
 
@@ -104,6 +106,7 @@ MatrixC DirectSolver::port_impedance(
     double freq_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_REQUIRE(!port_nodes.empty(), "DirectSolver: no port nodes given");
     PGSI_TRACE_SCOPE("em.solve.port_impedance");
+    PGSI_ALLOC_SCOPE("em.solve");
     const MatrixC y = nodal_admittance(freq_hz);
     const std::size_t n = y.rows();
     const std::size_t p = port_nodes.size();
@@ -137,6 +140,7 @@ MatrixC DirectSolver::port_impedance(
 std::vector<MatrixC> DirectSolver::sweep_impedance(
     const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_TRACE_SCOPE("em.solve.sweep");
+    PGSI_ALLOC_SCOPE("em.solve");
     // Force the lazy assemblies before fanning out: the frequency points are
     // embarrassingly parallel once the frequency-independent matrices exist,
     // and the per-frequency dense kernels run inline inside the pool workers

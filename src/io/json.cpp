@@ -1,0 +1,281 @@
+#include "io/json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pgsi {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    const JsonValue* hit = nullptr;
+    for (const auto& [k, v] : object)
+        if (k == key) hit = &v;
+    return hit;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr)
+        throw Error("json: missing member \"" + std::string(key) + "\"");
+    return *v;
+}
+
+double JsonValue::num_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::str_or(std::string_view key,
+                              std::string_view fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->string : std::string(fallback);
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : s_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue v = parse_value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    static constexpr int kMaxDepth = 256;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw InvalidArgument("json: " + what + " at offset " +
+                              std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (s_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        if (++depth_ > kMaxDepth) fail("nesting too deep");
+        JsonValue v;
+        switch (peek()) {
+        case '{': v = parse_object(); break;
+        case '[': v = parse_array(); break;
+        case '"':
+            v.kind = JsonValue::Kind::String;
+            v.string = parse_string();
+            break;
+        case 't':
+            if (!consume_literal("true")) fail("invalid literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            break;
+        case 'f':
+            if (!consume_literal("false")) fail("invalid literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            break;
+        case 'n':
+            if (!consume_literal("null")) fail("invalid literal");
+            v.kind = JsonValue::Kind::Null;
+            break;
+        default: v = parse_number();
+        }
+        --depth_;
+        return v;
+    }
+
+    JsonValue parse_object() {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            if (peek() != '"') fail("expected object key");
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.object.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return v;
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parse_array() {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return v;
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+    }
+
+    unsigned parse_hex4() {
+        if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = s_[pos_ + static_cast<std::size_t>(i)];
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("invalid \\u escape");
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("truncated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = parse_hex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a low surrogate must follow.
+                    if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                        s_[pos_ + 1] != 'u')
+                        fail("unpaired surrogate");
+                    pos_ += 2;
+                    const unsigned lo = parse_hex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired surrogate");
+                }
+                append_utf8(out, cp);
+                break;
+            }
+            default: fail("invalid escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        const auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0) fail("invalid number");
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) fail("invalid number");
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+            if (digits() == 0) fail("invalid number");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        // strtod needs NUL termination; numbers are short, copy them.
+        const std::string num(s_.substr(start, pos_ - start));
+        v.number = std::strtod(num.c_str(), nullptr);
+        return v;
+    }
+};
+
+} // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+JsonValue parse_json_file(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) throw Error("cannot open json file: " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parse_json(buf.str());
+}
+
+} // namespace pgsi

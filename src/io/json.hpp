@@ -1,0 +1,66 @@
+// Minimal JSON reader for pgsi's own artifacts (io subsystem).
+//
+// The observability stack writes JSON — Chrome traces, metrics snapshots,
+// SolveReports, BENCH_scaling records — and the report renderer and the
+// perf-regression gate need to read it back. This is a small recursive-
+// descent parser for exactly that: well-formed RFC 8259 documents produced
+// by this repository (and hand-written test fixtures). It keeps object key
+// order, parses every number as double (the artifacts never exceed 2^53),
+// and decodes \uXXXX escapes to UTF-8 (surrogate pairs included).
+//
+// It is not a streaming parser and holds the whole document in memory;
+// reports and bench records are a few MB at most.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pgsi {
+
+/// One parsed JSON value; a tagged tree.
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Members in document order (duplicate keys keep the last, but both
+    /// entries remain visible here).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool is_null() const { return kind == Kind::Null; }
+    bool is_bool() const { return kind == Kind::Bool; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_object() const { return kind == Kind::Object; }
+
+    /// Member lookup (last occurrence wins); nullptr when absent or when
+    /// this value is not an object.
+    const JsonValue* find(std::string_view key) const;
+
+    /// Member lookup that throws pgsi::Error when the key is absent.
+    const JsonValue& at(std::string_view key) const;
+
+    /// `find(key)->number` with a fallback when the member is absent or
+    /// not a number.
+    double num_or(std::string_view key, double fallback) const;
+
+    /// `find(key)->string` with a fallback when absent or not a string.
+    std::string str_or(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws pgsi::InvalidArgument with offset context on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Read and parse a JSON file. Throws pgsi::Error on I/O failure.
+JsonValue parse_json_file(const std::string& path);
+
+} // namespace pgsi

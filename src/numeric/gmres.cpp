@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/robust.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 
 namespace pgsi {
 
@@ -88,7 +89,17 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
         return norm2(r) / bnorm;
     };
 
+    // Convergence stream: the running Givens residual estimate per inner
+    // iteration plus restart / estimate-retry marks. `sid` is kStreamNone
+    // when recording is off, making each append site a single compare;
+    // the recorder only ever reads solver state, so results are bitwise
+    // identical either way.
+    const std::size_t sid = obs::streams_enabled()
+                                ? obs::stream_open("gmres.residual")
+                                : obs::kStreamNone;
+
     res.residual = true_residual();
+    if (sid != obs::kStreamNone) obs::stream_append(sid, 0.0, res.residual);
     while (res.residual > opt.tol && res.iterations < opt.max_iterations) {
         // r holds b - A x from the residual evaluation above.
         const double beta = norm2(r);
@@ -154,6 +165,9 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
                 g[j] = cs[j] * g[j];
             }
             k = j + 1;
+            if (sid != obs::kStreamNone)
+                obs::stream_append(sid, static_cast<double>(res.iterations),
+                                   std::abs(g[k]) / bnorm);
             if (hnext > 0.0 && std::abs(g[k]) / bnorm > est_tol) {
                 v.push_back(w);
                 VectorC& vn = v.back();
@@ -185,6 +199,9 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
             // trial update, tighten the estimate target by the observed gap,
             // and keep building this Krylov cycle.
             ++res.estimate_retries;
+            if (sid != obs::kStreamNone)
+                obs::stream_mark(sid, static_cast<double>(res.iterations),
+                                 "estimate_retry");
             x = x_save;
             est_tol = std::min(est_tol,
                                opt.tol * ((std::abs(g[k]) / bnorm) / tr));
@@ -194,9 +211,16 @@ GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
             res.residual = true_residual();
         }
         ++res.restarts;
+        if (sid != obs::kStreamNone && res.residual > opt.tol &&
+            res.iterations < opt.max_iterations && !breakdown)
+            obs::stream_mark(sid, static_cast<double>(res.iterations),
+                             "restart");
         if (breakdown) break;
     }
     res.converged = res.residual <= opt.tol;
+    if (sid != obs::kStreamNone)
+        obs::stream_append(sid, static_cast<double>(res.iterations),
+                           res.residual);
     c_iters.add(res.iterations);
     c_matvecs.add(res.matvecs);
     c_restarts.add(res.restarts);

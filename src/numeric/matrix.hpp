@@ -16,6 +16,7 @@
 
 #include "common/error.hpp"
 #include "numeric/gemm.hpp"
+#include "obs/resource.hpp"
 
 namespace pgsi {
 
@@ -30,7 +31,9 @@ public:
 
     /// rows x cols matrix, zero-initialized.
     Matrix(std::size_t rows, std::size_t cols, T init = T{})
-        : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+        : rows_(rows), cols_(cols), data_(rows * cols, init) {
+        obs::note_matrix_alloc(data_.size() * sizeof(T));
+    }
 
     /// Build from nested initializer list (row by row). Rows must be equal length.
     Matrix(std::initializer_list<std::initializer_list<T>> rows) {
@@ -41,6 +44,7 @@ public:
             PGSI_REQUIRE(r.size() == cols_, "ragged initializer list");
             data_.insert(data_.end(), r.begin(), r.end());
         }
+        obs::note_matrix_alloc(data_.size() * sizeof(T));
     }
 
     /// Identity matrix of size n.

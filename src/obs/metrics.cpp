@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <map>
 
+#include "obs/trace.hpp"
+
 namespace pgsi::obs {
 
 void Histogram::record(double v) noexcept {
@@ -136,6 +138,105 @@ std::string format_metrics() {
             out += line;
         }
     }
+    return out;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const noexcept {
+    for (const auto& [n, v] : counters)
+        if (n == name) return v;
+    return 0;
+}
+
+MetricsSnapshot metrics_snapshot() {
+    MetricsSnapshot out;
+    {
+        Registry<Counter>& r = counters();
+        std::lock_guard<std::mutex> lock(r.mu);
+        out.counters.reserve(r.items.size());
+        for (const auto& [name, c] : r.items)
+            out.counters.emplace_back(name, c->value());
+    }
+    {
+        Registry<Gauge>& r = gauges();
+        std::lock_guard<std::mutex> lock(r.mu);
+        out.gauges.reserve(r.items.size());
+        for (const auto& [name, g] : r.items)
+            out.gauges.emplace_back(name, g->value());
+    }
+    {
+        Registry<Histogram>& r = histograms();
+        std::lock_guard<std::mutex> lock(r.mu);
+        out.histograms.reserve(r.items.size());
+        for (const auto& [name, h] : r.items)
+            out.histograms.emplace_back(name, h->snapshot());
+    }
+    return out;
+}
+
+namespace {
+
+// Shortest double representation that round-trips; avoids "1e+06" noise for
+// integral values.
+std::string json_num(double v) {
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string metrics_json() {
+    const MetricsSnapshot snap = metrics_snapshot();
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : snap.counters) {
+        out += first ? "\"" : ",\"";
+        out += json_escape(name);
+        out += "\":";
+        out += json_num(static_cast<double>(v));
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : snap.gauges) {
+        out += first ? "\"" : ",\"";
+        out += json_escape(name);
+        out += "\":";
+        out += json_num(v);
+        first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, s] : snap.histograms) {
+        out += first ? "\"" : ",\"";
+        out += json_escape(name);
+        out += "\":{\"count\":";
+        out += json_num(static_cast<double>(s.count));
+        out += ",\"sum\":";
+        out += json_num(s.sum);
+        out += ",\"min\":";
+        out += json_num(s.min);
+        out += ",\"max\":";
+        out += json_num(s.max);
+        out += ",\"buckets\":{";
+        bool bfirst = true;
+        for (std::size_t k = 0; k < s.buckets.size(); ++k) {
+            if (s.buckets[k] == 0) continue;
+            char b[64];
+            std::snprintf(b, sizeof b, "%s\"%zu\":%llu", bfirst ? "" : ",", k,
+                          static_cast<unsigned long long>(s.buckets[k]));
+            out += b;
+            bfirst = false;
+        }
+        out += "}}";
+        first = false;
+    }
+    out += "}}";
     return out;
 }
 

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pgsi::obs {
@@ -84,6 +85,26 @@ bool metrics_print_requested() noexcept;
 
 /// Formatted table of every registered metric, sorted by name.
 std::string format_metrics();
+
+/// Point-in-time copy of every registered metric, sorted by name within
+/// each kind (counters/gauges/histograms).
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    /// Value of a named counter in this snapshot (0 when absent).
+    std::uint64_t counter_value(std::string_view name) const noexcept;
+};
+MetricsSnapshot metrics_snapshot();
+
+/// Machine-readable snapshot of every registered metric:
+///   {"counters":{name:value,...},"gauges":{...},
+///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+///                        "buckets":{"<k>":n,...}},...}}
+/// Histogram buckets are sparse: only non-empty power-of-two buckets
+/// appear, keyed by bucket index. Feeds the SolveReport metrics section.
+std::string metrics_json();
 
 /// Zero every registered metric (registry entries survive; tests use this).
 void reset_metrics();

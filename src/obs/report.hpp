@@ -1,0 +1,76 @@
+// SolveReport: the flight-recorder artifact (obs subsystem).
+//
+// One schema-versioned JSON document per solve, merging everything the
+// observability stack knows at the end of a run: aggregated spans, the
+// metrics snapshot, convergence streams, recovery events, resource
+// accounting (peak RSS, matrix-allocation counters, pool utilization), an
+// environment/config fingerprint, and free-form per-tool sections. Tools
+// emit it with `--report <path>` (see tools/cli_common.hpp); the
+// tools/pgsi_report renderer turns it into a Markdown summary.
+//
+// The builder is passive until build_json(): recording itself is done by
+// the trace/metrics/stream/resource modules, which the --report flag turns
+// on. Building snapshots their state at that moment.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/robust.hpp"
+
+namespace pgsi::obs {
+
+/// Schema identifier embedded in every report ("schema" member).
+inline constexpr const char* kSolveReportSchema = "pgsi.solve_report/1";
+
+class SolveReportBuilder {
+public:
+    /// `tool` names the producer ("pgsi_ssn", "test", ...).
+    explicit SolveReportBuilder(std::string tool);
+
+    /// Record the command line for the fingerprint.
+    void set_argv(int argc, const char* const* argv);
+
+    /// Add one value to a named free-form section ("transient", "zprofile",
+    /// ...). Sections and keys keep insertion order in the JSON.
+    void add_number(std::string_view section, std::string_view key,
+                    double value);
+    void add_text(std::string_view section, std::string_view key,
+                  std::string_view value);
+
+    /// Merge a run's recovery events into the report's "recoveries" array
+    /// (the process-wide robust.* counters are in the metrics section
+    /// either way; this carries the per-event detail strings).
+    void add_recoveries(const robust::RecoveryReport& report);
+
+    /// Assemble the JSON document, snapshotting metrics, spans, streams,
+    /// pool stats, and peak RSS now.
+    std::string build_json() const;
+
+    /// build_json() to a file. Throws pgsi::Error on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    std::string tool_;
+    std::vector<std::string> argv_;
+    std::uint64_t start_ns_ = 0;
+    std::vector<robust::RecoveryEvent> recoveries_;
+    using Section = std::vector<std::pair<std::string, std::string>>;
+    std::vector<std::pair<std::string, Section>> sections_; // value = JSON
+    Section& section(std::string_view name);
+};
+
+} // namespace pgsi::obs
+
+namespace pgsi {
+class JsonValue;
+namespace obs {
+/// Markdown summary of a parsed SolveReport: slowest span paths, solver
+/// iteration statistics, recoveries, allocation peaks, pool utilization,
+/// and per-stream summaries. `top_spans` bounds the span table.
+std::string render_solve_report_markdown(const JsonValue& report,
+                                         std::size_t top_spans = 12);
+} // namespace obs
+} // namespace pgsi

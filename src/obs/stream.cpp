@@ -1,0 +1,108 @@
+#include "obs/stream.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace pgsi::obs {
+
+namespace detail {
+std::atomic_int g_stream_state{-1};
+
+int stream_state_slow() noexcept {
+    // Racing first calls both read the same environment; the state they
+    // store is identical, so the race is benign (same as trace_state_slow).
+    int on = 0;
+    if (const char* env = std::getenv("PGSI_STREAMS"))
+        if (env[0] != '\0' && std::strcmp(env, "0") != 0) on = 1;
+    g_stream_state.store(on, std::memory_order_relaxed);
+    return on;
+}
+} // namespace detail
+
+void set_streams_enabled(bool on) noexcept {
+    detail::g_stream_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Series ids encode a reset epoch in the high bits so an id cached across
+// reset_streams() (e.g. the robust timeline's function-local static) drops
+// its appends instead of writing into an unrelated fresh series.
+constexpr std::size_t kEpochShift = 32;
+constexpr std::size_t kIndexMask = (std::size_t(1) << kEpochShift) - 1;
+
+std::mutex g_mu;
+std::vector<StreamSeries> g_series;
+std::size_t g_epoch = 0;
+
+// Resolve an id to a live series under g_mu; nullptr when stale/none.
+StreamSeries* resolve(std::size_t id) {
+    if (id == kStreamNone) return nullptr;
+    if ((id >> kEpochShift) != g_epoch) return nullptr;
+    const std::size_t idx = id & kIndexMask;
+    return idx < g_series.size() ? &g_series[idx] : nullptr;
+}
+
+} // namespace
+
+std::size_t stream_open(std::string_view name) {
+    if (!streams_enabled()) return kStreamNone;
+    const std::lock_guard<std::mutex> lock(g_mu);
+    if (g_series.size() >= kMaxSeries) return kStreamNone;
+    StreamSeries s;
+    s.name = name;
+    g_series.push_back(std::move(s));
+    return (g_epoch << kEpochShift) | (g_series.size() - 1);
+}
+
+void stream_append(std::size_t series, double x, double y) noexcept {
+    if (series == kStreamNone) return;
+    try {
+        const std::lock_guard<std::mutex> lock(g_mu);
+        StreamSeries* s = resolve(series);
+        if (s == nullptr) return;
+        if (s->x.size() >= kMaxPoints) {
+            ++s->dropped;
+            return;
+        }
+        s->x.push_back(x);
+        s->y.push_back(y);
+    } catch (...) {
+        // Allocation failure: drop the point; instrumentation never throws.
+    }
+}
+
+void stream_mark(std::size_t series, double x, std::string_view label) {
+    if (series == kStreamNone) return;
+    try {
+        const std::lock_guard<std::mutex> lock(g_mu);
+        StreamSeries* s = resolve(series);
+        if (s == nullptr) return;
+        if (s->marks.size() >= kMaxMarks) {
+            ++s->dropped;
+            return;
+        }
+        s->marks.push_back({x, std::string(label)});
+    } catch (...) {
+    }
+}
+
+bool stream_live(std::size_t id) {
+    if (id == kStreamNone) return false;
+    const std::lock_guard<std::mutex> lock(g_mu);
+    return resolve(id) != nullptr;
+}
+
+std::vector<StreamSeries> stream_snapshot() {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    return g_series;
+}
+
+void reset_streams() {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    g_series.clear();
+    ++g_epoch;
+}
+
+} // namespace pgsi::obs

@@ -1,0 +1,91 @@
+// Convergence streams: bounded per-iteration time series (obs subsystem).
+//
+// A stream is one series of (x, y) points recorded by a solver hot loop —
+// the GMRES residual per inner iteration, the Newton iteration count per
+// transient timestep, the recovery-ladder timeline. Alongside points a
+// series carries labeled marks ("restart", "timestep_cut") pinned to an x
+// position. Solvers open a series per solve, append as they iterate, and
+// the flight recorder snapshots everything when a SolveReport is built.
+//
+// Cost model (mirrors trace.hpp): recording is off unless PGSI_STREAMS is
+// set or set_streams_enabled(true) is called. When off, streams_enabled()
+// is one relaxed atomic load, stream_open() returns kStreamNone, and the
+// per-iteration append sites compile down to a single integer compare
+// against kStreamNone — no clock, no lock, no allocation, and bitwise
+// identical numerical results (instrumentation only reads solver state).
+//
+// Bounds: at most kMaxSeries live series; each series keeps the first
+// kMaxPoints points and kMaxMarks marks and counts the rest in `dropped`,
+// so a pathological million-iteration solve cannot balloon the recorder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgsi::obs {
+
+namespace detail {
+// -1 = not yet initialized from the environment, 0 = off, 1 = on.
+int stream_state_slow() noexcept;
+extern std::atomic_int g_stream_state;
+} // namespace detail
+
+/// True when stream recording is active. The hot path is a single relaxed
+/// atomic load; the first call per process consults PGSI_STREAMS.
+inline bool streams_enabled() noexcept {
+    const int s = detail::g_stream_state.load(std::memory_order_relaxed);
+    return s < 0 ? detail::stream_state_slow() != 0 : s != 0;
+}
+
+/// Programmatic override of PGSI_STREAMS (tools use this for --report).
+void set_streams_enabled(bool on) noexcept;
+
+/// Sentinel series id: recording disabled or the series cap was hit.
+/// Append/mark calls with this id are no-ops.
+inline constexpr std::size_t kStreamNone = static_cast<std::size_t>(-1);
+
+/// A labeled event pinned to an x position ("restart", "escalate:block").
+struct StreamMark {
+    double x = 0;
+    std::string label;
+};
+
+/// One recorded series.
+struct StreamSeries {
+    std::string name;               ///< "gmres.residual", "transient.newton"
+    std::vector<double> x;          ///< iteration index, time, ...
+    std::vector<double> y;          ///< residual, iteration count, ...
+    std::vector<StreamMark> marks;  ///< labeled events along the series
+    std::uint64_t dropped = 0;      ///< points + marks discarded past the caps
+};
+
+inline constexpr std::size_t kMaxSeries = 512;
+inline constexpr std::size_t kMaxPoints = 4096;
+inline constexpr std::size_t kMaxMarks = 256;
+
+/// Open a new series named `name`. Returns kStreamNone when recording is
+/// disabled or kMaxSeries are already live. The id stays valid until
+/// reset_streams(); appends through a stale id are dropped silently.
+std::size_t stream_open(std::string_view name);
+
+/// Append one point; no-op for kStreamNone / stale ids. Never throws.
+void stream_append(std::size_t series, double x, double y) noexcept;
+
+/// Attach a labeled mark; no-op for kStreamNone / stale ids.
+void stream_mark(std::size_t series, double x, std::string_view label);
+
+/// True when `id` still resolves to a live series (false for kStreamNone
+/// and ids issued before the last reset_streams()).
+bool stream_live(std::size_t id);
+
+/// Copy of every recorded series, in open order.
+std::vector<StreamSeries> stream_snapshot();
+
+/// Drop all recorded series and invalidate outstanding ids (the enabled
+/// state is unchanged).
+void reset_streams();
+
+} // namespace pgsi::obs

@@ -46,6 +46,15 @@ thread_local std::vector<OpenSpan> t_open;
 std::mutex g_records_mu;
 std::vector<SpanRecord> g_records;
 
+// Thread labels for the Chrome-trace "thread_name" metadata events, keyed
+// by dense thread index. Leaked like the metric registries: pool workers
+// may register names while static destructors run elsewhere.
+std::mutex g_thread_names_mu;
+std::map<std::uint32_t, std::string>& thread_names() {
+    static auto* m = new std::map<std::uint32_t, std::string>();
+    return *m;
+}
+
 // When PGSI_TRACE names a .json file, the trace is flushed there at exit.
 std::string& exit_trace_path() {
     static std::string path;
@@ -102,6 +111,16 @@ void reset_trace() {
 
 std::string current_span_path() {
     return t_open.empty() ? std::string() : t_open.back().path;
+}
+
+void set_thread_name(std::string_view name) noexcept {
+    try {
+        const std::uint32_t tid = thread_index();
+        const std::lock_guard<std::mutex> lock(g_thread_names_mu);
+        thread_names()[tid] = std::string(name);
+    } catch (...) {
+        // Allocation failure: the thread stays unnamed.
+    }
 }
 
 void SpanScope::begin(const char* name) noexcept {
@@ -243,6 +262,33 @@ std::string chrome_trace_json() {
     const std::vector<SpanRecord> records = trace_records();
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
+
+    // Metadata events first: the process label, then a thread_name for
+    // every registered thread (and every thread that recorded a span), so
+    // Perfetto shows "par.worker-3" instead of a bare tid.
+    out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"pgsi\"}}";
+    first = false;
+    {
+        std::map<std::uint32_t, std::string> names;
+        {
+            const std::lock_guard<std::mutex> lock(g_thread_names_mu);
+            names = thread_names();
+        }
+        for (const SpanRecord& r : records)
+            names.emplace(r.thread, "thread-" + std::to_string(r.thread));
+        for (const auto& [tid, name] : names) {
+            char head[96];
+            std::snprintf(head, sizeof head,
+                          ",{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                          "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                          tid);
+            out += head;
+            out += json_escape(name);
+            out += "\"}}";
+        }
+    }
+
     for (const SpanRecord& r : records) {
         // The event name is the leaf; the full path rides in args for
         // Perfetto's detail pane.

@@ -77,6 +77,11 @@ private:
     std::uint64_t t0_ = 0;
 };
 
+/// Label the calling thread for the Chrome-trace export ("main",
+/// "par.worker-3"). Cheap (one mutex-guarded map insert); callable any
+/// time, also before tracing is enabled. Never throws.
+void set_thread_name(std::string_view name) noexcept;
+
 /// Human-readable summary: one line per distinct path with call count,
 /// inclusive wall time, and share of the enclosing span, indented as a tree.
 std::string trace_summary();

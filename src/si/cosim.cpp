@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi {
@@ -49,6 +50,7 @@ std::size_t index_in(const std::vector<std::size_t>& keep, std::size_t node) {
 PlaneModel::PlaneModel(const Board& board, const SsnModelOptions& options)
     : board_(board), options_(options) {
     PGSI_TRACE_SCOPE("ssn.plane_model");
+    PGSI_ALLOC_SCOPE("extract");
     // Paper Fig. 2 configuration: the power plane is meshed at the stackup
     // separation above the ground plane, which acts as the common reference
     // and enters through the image terms of the Green's functions.

@@ -126,6 +126,52 @@ struct Recorder {
     }
 };
 
+// Solver counters worth tracking per campaign. These are process-wide
+// cumulative atomics; the tracker below turns them into campaign-scoped
+// deltas so manifests stay comparable run-to-run.
+constexpr const char* kTrackedCounters[] = {
+    "gmres.solves",        "gmres.iterations",
+    "gmres.matvecs",       "gmres.restarts",
+    "lu.factorizations",   "lu.solves",
+    "transient.step_rejections", "transient.timestep_cuts",
+    "robust.recoveries",   "robust.faults_injected",
+};
+
+class CounterTracker {
+public:
+    CounterTracker() {
+        for (const char* name : kTrackedCounters) {
+            counters_.push_back(&obs::counter(name));
+            CounterStats s;
+            s.name = name;
+            stats_.push_back(std::move(s));
+            last_.push_back(counters_.back()->value());
+            start_.push_back(last_.back());
+        }
+    }
+
+    /// Fold the deltas since the previous call into the per-iteration worst.
+    void end_iteration() {
+        for (std::size_t i = 0; i < counters_.size(); ++i) {
+            const std::uint64_t now = counters_[i]->value();
+            stats_[i].worst_iteration =
+                std::max(stats_[i].worst_iteration, now - last_[i]);
+            last_[i] = now;
+        }
+    }
+
+    std::vector<CounterStats> finish() {
+        for (std::size_t i = 0; i < counters_.size(); ++i)
+            stats_[i].total = counters_[i]->value() - start_[i];
+        return std::move(stats_);
+    }
+
+private:
+    std::vector<obs::Counter*> counters_;
+    std::vector<CounterStats> stats_;
+    std::vector<std::uint64_t> start_, last_;
+};
+
 std::string json_num(double v) {
     std::ostringstream os;
     os.precision(12);
@@ -165,6 +211,7 @@ CampaignResult run_campaign(const VerifyOptions& opt) {
     if (want_recovery) rec.slot("fault_recovery", "recovery");
 
     PGSI_TRACE_SCOPE("verify.campaign");
+    CounterTracker tracker;
     for (int iter = 0; iter < opt.iterations; ++iter) {
         PGSI_TRACE_SCOPE("verify.iteration");
         obs::counter("verify.iterations").add(1);
@@ -226,7 +273,9 @@ CampaignResult run_campaign(const VerifyOptions& opt) {
                 rec.record(r, "recovery", iter, ns.summary);
             }
         }
+        tracker.end_iteration();
     }
+    result.metrics = tracker.finish();
     return result;
 }
 
@@ -248,6 +297,14 @@ std::string manifest_json(const CampaignResult& result) {
            << ", \"tolerance\": " << json_num(s.tolerance)
            << ", \"worst_error\": " << json_num(s.worst_error) << "}"
            << (i + 1 < result.invariants.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+        const CounterStats& m = result.metrics[i];
+        os << "    {\"name\": \"" << m.name << "\", \"total\": " << m.total
+           << ", \"worst_iteration\": " << m.worst_iteration << "}"
+           << (i + 1 < result.metrics.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
     os << "  \"failures\": [\n";

@@ -70,12 +70,24 @@ struct FailureRecord {
     std::string repro_board;
 };
 
+/// Campaign-scoped view of one process-wide solver counter. The campaign
+/// snapshots each tracked counter when it starts and after every iteration,
+/// so the manifest records the work *this* campaign did — not whatever the
+/// process accumulated before it (a tool-level --profile, an earlier
+/// campaign in the same test binary) — plus the heaviest single iteration.
+struct CounterStats {
+    std::string name;            ///< obs counter name ("gmres.iterations")
+    std::uint64_t total = 0;     ///< delta across the whole campaign
+    std::uint64_t worst_iteration = 0; ///< largest single-iteration delta
+};
+
 struct CampaignResult {
     std::uint64_t seed = 1;
     int iterations = 0;
     std::vector<std::string> suites;
     std::vector<InvariantStats> invariants;
     std::vector<FailureRecord> failures;
+    std::vector<CounterStats> metrics; ///< campaign-scoped solver counters
 
     bool ok() const { return failures.empty(); }
 };

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "circuit/transient.hpp"
 #include "common/error.hpp"
+#include "io/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -149,6 +151,18 @@ TEST(ObsJson, EscapesSpecialCharacters) {
     EXPECT_EQ(obs::json_escape("\b\f"), "\\b\\f");
 }
 
+TEST(ObsJson, PassesThroughMultiByteUtf8) {
+    // json_escape must leave valid UTF-8 sequences byte-for-byte intact:
+    // 2-byte (é), 3-byte (∑), and 4-byte (𝛑) code points.
+    const std::string utf8 = "\xC3\xA9 \xE2\x88\x91 \xF0\x9D\x9B\x91";
+    EXPECT_EQ(obs::json_escape(utf8), utf8);
+    // DEL (0x7f) is above the JSON control range and passes through.
+    EXPECT_EQ(obs::json_escape("\x7f"), "\x7f");
+    // Control characters embedded between multi-byte sequences still escape.
+    EXPECT_EQ(obs::json_escape(std::string("\xC3\xA9\x01\xC3\xA9")),
+              "\xC3\xA9\\u0001\xC3\xA9");
+}
+
 TEST(ObsMetrics, CounterIsAtomicUnderContention) {
     obs::Counter& c = obs::counter("test.contended");
     c.reset();
@@ -195,12 +209,69 @@ TEST(ObsMetrics, GaugeAndHistogram) {
     EXPECT_EQ(s.buckets[4], 1u);
 }
 
+TEST(ObsMetrics, HistogramConcurrentRecordAndSnapshot) {
+    // Writers hammer record() while a reader snapshots; every snapshot must
+    // be internally consistent (bucket sum == count) because the histogram
+    // is mutex-protected, and the final totals must be exact.
+    obs::Histogram& h = obs::histogram("test.hist.concurrent");
+    h.reset();
+    constexpr int kThreads = 4;
+    constexpr int kIters = 5000;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const obs::Histogram::Snapshot s = h.snapshot();
+            std::uint64_t in_buckets = 0;
+            for (const std::uint64_t b : s.buckets) in_buckets += b;
+            ASSERT_EQ(in_buckets, s.count);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&h] {
+            for (int i = 1; i <= kIters; ++i) h.record(double(i));
+        });
+    for (std::thread& th : writers) th.join();
+    stop.store(true);
+    reader.join();
+    const obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, std::uint64_t(kThreads) * kIters);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, double(kIters));
+}
+
 TEST(ObsMetrics, FormatMetricsListsRegisteredNames) {
     obs::counter("test.formatted").reset();
     obs::counter("test.formatted").add(7);
     const std::string s = obs::format_metrics();
     EXPECT_NE(s.find("test.formatted"), std::string::npos);
     EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceCarriesProcessAndThreadNames) {
+    obs::set_thread_name("main-test-thread");
+    { PGSI_TRACE_SCOPE("named_span"); }
+    std::thread worker([] {
+        obs::set_thread_name("obs-worker-7");
+        PGSI_TRACE_SCOPE("worker_span");
+    });
+    worker.join();
+    const std::string json = obs::chrome_trace_json();
+    // Metadata events name the process and both threads for the viewer.
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"pgsi\"}"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("main-test-thread"), std::string::npos);
+    EXPECT_NE(json.find("obs-worker-7"), std::string::npos);
+    // The whole trace must be well-formed JSON, not just contain the
+    // expected substrings (a truncated metadata event once passed the
+    // substring checks above).
+    const JsonValue doc = parse_json(json);
+    ASSERT_TRUE(doc.is_object());
+    const JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GE(events->array.size(), 3u);
 }
 
 TEST(ObsError, ContextChainFormatsAndPreservesType) {

@@ -6,9 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "circuit/parser.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/resource.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace pgsi::cli {
@@ -18,6 +23,9 @@ namespace pgsi::cli {
 ///                        metrics table when the tool finishes
 ///   --trace-json <file>  enable tracing; write Chrome-trace JSON on exit
 ///                        (loads in chrome://tracing or Perfetto)
+///   --report <file>      enable tracing, convergence streams, and resource
+///                        accounting; write a SolveReport JSON artifact on
+///                        exit (render with tools/pgsi_report)
 /// Construct one right after argument parsing; the destructor emits the
 /// reports even when the tool body throws.
 class ObsSession {
@@ -26,18 +34,43 @@ public:
     static std::vector<std::string> flags(std::vector<std::string> base) {
         base.push_back("profile");
         base.push_back("trace-json");
+        base.push_back("report");
         return base;
     }
 
     template <class ArgsT>
-    explicit ObsSession(const ArgsT& args)
-        : profile_(args.has("profile")), trace_path_(args.str("trace-json", "")) {
+    ObsSession(const ArgsT& args, std::string tool, int argc = 0,
+               const char* const* argv = nullptr)
+        : profile_(args.has("profile")), trace_path_(args.str("trace-json", "")),
+          report_path_(args.str("report", "")) {
         if (args.has("trace-json") && trace_path_.empty())
             throw InvalidArgument("--trace-json requires an output file path");
-        if (profile_ || !trace_path_.empty()) obs::set_trace_enabled(true);
+        if (args.has("report") && report_path_.empty())
+            throw InvalidArgument("--report requires an output file path");
+        if (profile_ || !trace_path_.empty() || !report_path_.empty())
+            obs::set_trace_enabled(true);
+        if (!report_path_.empty()) {
+            obs::set_streams_enabled(true);
+            obs::set_resources_enabled(true);
+            obs::set_thread_name("main");
+            builder_ = std::make_unique<obs::SolveReportBuilder>(std::move(tool));
+            if (argv != nullptr) builder_->set_argv(argc, argv);
+        }
     }
 
+    /// Back-compat constructor for tools that never emit reports.
+    template <class ArgsT>
+    explicit ObsSession(const ArgsT& args) : ObsSession(args, "pgsi") {}
+
     ~ObsSession() {
+        if (builder_ != nullptr) {
+            try {
+                builder_->write_file(report_path_);
+                std::fprintf(stderr, "wrote report: %s\n", report_path_.c_str());
+            } catch (const Error& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+            }
+        }
         if (!trace_path_.empty()) {
             try {
                 obs::write_chrome_trace_file(trace_path_);
@@ -56,9 +89,15 @@ public:
     ObsSession(const ObsSession&) = delete;
     ObsSession& operator=(const ObsSession&) = delete;
 
+    /// The SolveReport under construction, or nullptr without --report.
+    /// Tools use this to attach free-form sections and recovery events.
+    obs::SolveReportBuilder* report() { return builder_.get(); }
+
 private:
     bool profile_;
     std::string trace_path_;
+    std::string report_path_;
+    std::unique_ptr<obs::SolveReportBuilder> builder_;
 };
 
 /// Parsed command line: positional arguments plus --key value options

@@ -26,7 +26,7 @@ constexpr const char* kUsage =
     "             [--spice out.sp] [--touchstone out.sNp]\n"
     "             [--fstart hz] [--fstop hz] [--points n]\n"
     "             [--fit npoles --fit-spice out.sp]\n"
-    "             [--profile] [--trace-json out.json]";
+    "             [--profile] [--trace-json out.json] [--report out.json]";
 }
 
 int main(int argc, char** argv) {
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
                 cli::ObsSession::flags({"pitch", "interior", "prune", "spice",
                                         "touchstone", "fstart", "fstop",
                                         "points", "fit", "fit-spice"}));
-            const cli::ObsSession obs_session(args);
+            cli::ObsSession obs_session(args, "pgsi_extract", argc, argv);
             PGSI_REQUIRE(args.positional().size() == 1,
                          "expected exactly one board file");
             const Board board = load_board_file(args.positional()[0]);
@@ -58,6 +58,18 @@ int main(int argc, char** argv) {
                         plane.bem().node_count(), ec.node_count(),
                         ec.branches.size(),
                         ec.total_reference_capacitance() * 1e9);
+
+            if (obs::SolveReportBuilder* rep = obs_session.report()) {
+                rep->add_text("model", "board", args.positional()[0]);
+                rep->add_number("model", "mesh_cells",
+                                static_cast<double>(plane.bem().node_count()));
+                rep->add_number("model", "circuit_nodes",
+                                static_cast<double>(ec.node_count()));
+                rep->add_number("model", "circuit_branches",
+                                static_cast<double>(ec.branches.size()));
+                rep->add_number("model", "c_total_f",
+                                ec.total_reference_capacitance());
+            }
 
             if (args.has("spice")) {
                 std::ofstream f(args.str("spice", ""));

@@ -1,0 +1,38 @@
+// pgsi_report — render a SolveReport JSON artifact as Markdown.
+//
+//   pgsi_report <report.json> [--spans N]
+//
+// Reads a report emitted by any pgsi tool's --report flag and prints a
+// human-readable summary: slowest span paths, solver iteration statistics,
+// convergence-stream digests, recoveries, resource accounting, and pool
+// utilization. The output is Markdown so it pastes cleanly into issues and
+// CI summaries.
+#include <cstdio>
+
+#include "io/json.hpp"
+#include "obs/report.hpp"
+#include "tools/cli_common.hpp"
+
+using namespace pgsi;
+
+namespace {
+constexpr const char* kUsage = "pgsi_report <report.json> [--spans N]";
+}
+
+int main(int argc, char** argv) {
+    return cli::run_tool(
+        [&]() -> int {
+            const cli::Args args(argc, argv, {"spans"});
+            PGSI_REQUIRE(args.positional().size() == 1,
+                         "expected exactly one report file");
+            const JsonValue report =
+                parse_json_file(args.positional()[0]);
+            const auto top =
+                static_cast<std::size_t>(args.num("spans", 12));
+            const std::string md =
+                obs::render_solve_report_markdown(report, top);
+            std::fputs(md.c_str(), stdout);
+            return 0;
+        },
+        kUsage);
+}

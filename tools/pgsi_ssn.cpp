@@ -5,8 +5,12 @@
 //
 // Prints per-site peak noise; with --csv, dumps the die-supply waveforms;
 // with --optimize N, greedily ranks up to N of the board's decap candidates.
+// With --report, also sweeps the plane impedance at the driver pins through
+// the iterative backend so the flight recorder captures a GMRES residual
+// stream alongside the transient's Newton streams.
 #include <cstdio>
 
+#include "em/solver.hpp"
 #include "io/csv.hpp"
 #include "si/board_file.hpp"
 #include "si/decap_opt.hpp"
@@ -19,8 +23,35 @@ namespace {
 constexpr const char* kUsage =
     "pgsi_ssn <board-file> [--pitch m] [--interior n] [--prune x]\n"
     "         [--dt s] [--tstop s] [--csv out.csv] [--optimize N]\n"
-    "         [--profile] [--trace-json out.json]";
+    "         [--profile] [--trace-json out.json] [--report out.json]";
+
+// Z(f) at the driver Vcc pins through the iterative (GMRES) backend, for
+// the report's "zprofile" section. A handful of points is enough to record
+// the solver's convergence behavior on this mesh.
+void report_zprofile(obs::SolveReportBuilder& rep, const Board& board,
+                     const PlaneModel& plane) {
+    if (board.driver_sites().empty()) return;
+    std::vector<std::size_t> ports;
+    for (const DriverSite& site : board.driver_sites())
+        ports.push_back(plane.bem().mesh().nearest_node_any(site.vcc_pin));
+    SolverOptions sopt;
+    sopt.backend = SolverBackend::Iterative;
+    const auto solver = make_solver(
+        plane.bem(), SurfaceImpedance::from_sheet_resistance(
+                         board.stackup().sheet_resistance),
+        sopt);
+    const VectorD freqs{10e6, 100e6, 1e9};
+    const std::vector<MatrixC> z = solver->sweep_impedance(freqs, ports);
+    rep.add_number("zprofile", "ports", static_cast<double>(ports.size()));
+    rep.add_number("zprofile", "freqs", static_cast<double>(freqs.size()));
+    double zmax = 0;
+    for (std::size_t k = 0; k < freqs.size(); ++k)
+        for (std::size_t i = 0; i < ports.size(); ++i)
+            zmax = std::max(zmax, std::abs(z[k](i, i)));
+    rep.add_number("zprofile", "max_self_z_ohm", zmax);
 }
+
+} // namespace
 
 int main(int argc, char** argv) {
     return cli::run_tool(
@@ -29,7 +60,7 @@ int main(int argc, char** argv) {
                                  cli::ObsSession::flags({"pitch", "interior",
                                                          "prune", "dt", "tstop",
                                                          "csv", "optimize"}));
-            const cli::ObsSession obs_session(args);
+            cli::ObsSession obs_session(args, "pgsi_ssn", argc, argv);
             PGSI_REQUIRE(args.positional().size() == 1,
                          "expected exactly one board file");
             const Board board = load_board_file(args.positional()[0]);
@@ -46,6 +77,38 @@ int main(int argc, char** argv) {
 
             const SsnModel model(plane);
             const TransientResult r = model.simulate(dt, tstop);
+
+            if (obs::SolveReportBuilder* rep = obs_session.report()) {
+                rep->add_text("model", "board", args.positional()[0]);
+                rep->add_number("model", "mesh_cells",
+                                static_cast<double>(plane->bem().node_count()));
+                rep->add_number(
+                    "model", "circuit_nodes",
+                    static_cast<double>(plane->circuit().node_count()));
+                rep->add_number(
+                    "model", "circuit_branches",
+                    static_cast<double>(plane->circuit().branches.size()));
+                rep->add_number(
+                    "model", "driver_sites",
+                    static_cast<double>(board.driver_sites().size()));
+                rep->add_number("transient", "dt_s", dt);
+                rep->add_number("transient", "tstop_s", tstop);
+                rep->add_number("transient", "steps",
+                                static_cast<double>(r.stats.steps));
+                rep->add_number(
+                    "transient", "newton_iterations",
+                    static_cast<double>(r.stats.newton_iterations));
+                rep->add_number("transient", "step_rejections",
+                                static_cast<double>(r.stats.step_rejections));
+                rep->add_number("transient", "lu_factorizations",
+                                static_cast<double>(r.stats.lu_factorizations));
+                rep->add_number("transient", "lu_solves",
+                                static_cast<double>(r.stats.lu_solves));
+                rep->add_number("transient", "wall_seconds",
+                                r.stats.wall_seconds);
+                rep->add_recoveries(r.recovery);
+                report_zprofile(*rep, board, *plane);
+            }
 
             if (args.has("profile"))
                 std::printf("transient: %zu steps, %zu Newton iterations, "
@@ -71,6 +134,12 @@ int main(int argc, char** argv) {
             }
             std::printf("%-12s %-16.1f %-16.1f %-16.1f\n", "WORST",
                         worst_g * 1e3, worst_v * 1e3, worst_p * 1e3);
+
+            if (obs::SolveReportBuilder* rep = obs_session.report()) {
+                rep->add_number("noise", "worst_gnd_bounce_v", worst_g);
+                rep->add_number("noise", "worst_vcc_droop_v", worst_v);
+                rep->add_number("noise", "worst_plane_v", worst_p);
+            }
 
             if (args.has("csv")) {
                 std::vector<std::string> headers{"t_s"};

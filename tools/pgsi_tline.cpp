@@ -15,7 +15,7 @@ namespace {
 constexpr const char* kUsage =
     "pgsi_tline --w <strip width> --h <substrate height> --er <eps_r>\n"
     "           [--n <conductors>] [--gap <edge gap>] [--segments n]\n"
-    "           [--profile] [--trace-json out.json]";
+    "           [--profile] [--trace-json out.json] [--report out.json]";
 }
 
 int main(int argc, char** argv) {
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
             const cli::Args args(
                 argc, argv,
                 cli::ObsSession::flags({"w", "h", "er", "n", "gap", "segments"}));
-            const cli::ObsSession obs_session(args);
+            cli::ObsSession obs_session(args, "pgsi_tline", argc, argv);
             const double w = args.num("w", 0.0);
             const double h = args.num("h", 0.0);
             const double er = args.num("er", 4.5);
@@ -61,6 +61,11 @@ int main(int argc, char** argv) {
                 std::printf("\nZ0 = %.2f ohm, eps_eff = %.3f, delay = %.3f "
                             "ns/m\n",
                             f.z0, f.eps_eff, f.delay_per_m * 1e9);
+                if (obs::SolveReportBuilder* rep = obs_session.report()) {
+                    rep->add_number("line", "z0_ohm", f.z0);
+                    rep->add_number("line", "eps_eff", f.eps_eff);
+                    rep->add_number("line", "delay_s_per_m", f.delay_per_m);
+                }
             }
             return 0;
         },

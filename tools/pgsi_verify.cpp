@@ -20,14 +20,15 @@ namespace {
 
 constexpr const char* kUsage =
     "pgsi_verify [--iters N] [--seed S] [--suite list] [--shrink] "
-    "[--out DIR] [--manifest FILE] [--profile] [--trace-json FILE]";
+    "[--out DIR] [--manifest FILE] [--profile] [--trace-json FILE] "
+    "[--report FILE]";
 
 int main_impl(int argc, char** argv) {
     using namespace pgsi;
     const cli::Args args(argc, argv,
                          cli::ObsSession::flags({"iters", "seed", "suite",
                                                  "shrink", "out", "manifest"}));
-    const cli::ObsSession obs_session(args);
+    cli::ObsSession obs_session(args, "pgsi_verify", argc, argv);
 
     verify::VerifyOptions opt;
     opt.iterations = static_cast<int>(args.num("iters", 100));
@@ -49,6 +50,16 @@ int main_impl(int argc, char** argv) {
         std::printf("%-18s %8zu %6zu %9zu %12.3e %12.3e\n",
                     s.invariant.c_str(), s.checks, s.skips, s.failures,
                     s.worst_error, s.tolerance);
+
+    if (obs::SolveReportBuilder* rep = obs_session.report()) {
+        rep->add_number("campaign", "iterations",
+                        static_cast<double>(result.iterations));
+        rep->add_number("campaign", "failures",
+                        static_cast<double>(result.failures.size()));
+        for (const verify::CounterStats& m : result.metrics)
+            rep->add_number("campaign_counters", m.name,
+                            static_cast<double>(m.total));
+    }
 
     for (const verify::FailureRecord& f : result.failures) {
         std::printf("\nFAIL %s (suite %s, iteration %d, seed %llu)\n",
