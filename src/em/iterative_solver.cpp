@@ -25,11 +25,19 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
         .count();
 }
 
+// Conjugated inner product, serial for thread-count-invariant results.
+Complex cdot(const VectorC& a, const VectorC& b) {
+    Complex s{};
+    for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+    return s;
+}
+
 } // namespace
 
 IterativeSolver::IterativeSolver(const PlaneBem& bem, SurfaceImpedance zs,
                                  SolverOptions options)
-    : bem_(bem), zs_(zs), options_(options) {
+    : bem_(bem), zs_(zs), options_(options),
+      active_precond_(options.preconditioner) {
     PGSI_REQUIRE(options_.precond_tile_cells >= 1,
                  "SolverOptions: precond_tile_cells must be >= 1");
     PGSI_REQUIRE(options_.fail_tol > 0, "SolverOptions: fail_tol must be positive");
@@ -82,7 +90,8 @@ void IterativeSolver::ensure_setup() const {
 }
 
 MatrixC IterativeSolver::solve_ports(
-    double freq_hz, const std::vector<std::size_t>& port_nodes) const {
+    double freq_hz, const std::vector<std::size_t>& port_nodes,
+    SweepState* sweep) const {
     PGSI_ALLOC_SCOPE("em.iterative");
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
@@ -173,7 +182,9 @@ MatrixC IterativeSolver::solve_ports(
             };
         }
     };
-    PreconditionerKind kind = options_.preconditioner;
+    // Escalation is sticky: start from the strongest kind any earlier
+    // frequency needed instead of re-paying the stall per point.
+    PreconditionerKind kind = active_precond_.load(std::memory_order_relaxed);
     build_precond(kind);
 
     const bool recover =
@@ -181,8 +192,9 @@ MatrixC IterativeSolver::solve_ports(
     robust::RecoveryReport local_report;
     MatrixC z(p, p);
     std::size_t iters = 0, matvecs = 0, restarts = 0;
-    std::size_t escalations = 0;
-    double worst = 0;
+    std::size_t escalations = 0, block_solves = 0, solves_attempted = 0;
+    std::size_t recycle_hits = 0, recycle_applies = 0;
+    bool warm_started = false;
     // Convergence stream: GMRES iterations per port column at this
     // frequency, with marks where the preconditioner ladder escalated.
     const std::size_t sid = obs::streams_enabled()
@@ -190,98 +202,344 @@ MatrixC IterativeSolver::solve_ports(
                                 : obs::kStreamNone;
     if (sid != obs::kStreamNone)
         obs::stream_mark(sid, 0.0, "f=" + std::to_string(freq_hz) + "Hz");
-    for (std::size_t k = 0; k < p; ++k) {
-        // b = (1/jw) P Ppot e_port — the port's unit current injection.
-        std::fill(tnode.begin(), tnode.end(), Complex{});
-        tnode[port_nodes[k]] = Complex(1.0, 0.0);
-        pop.apply(tnode, unode);
-        VectorC rhs(m);
-        for (std::size_t b = 0; b < m; ++b)
-            rhs[b] = inv_jw * (unode[branches[b].n1] - unode[branches[b].n2]);
 
-        VectorC cur(m, Complex{});
-        GmresResult gr = gmres(apply, rhs, cur, options_.gmres, precond);
-        iters += gr.iterations;
-        matvecs += gr.matvecs;
-        restarts += gr.restarts;
-        bool bad =
-            gr.residual > options_.fail_tol || !robust::all_finite(cur);
-        // Escalation rung 1: the stronger block-Jacobi preconditioner.
-        if (bad && recover && options_.recovery.allow_precond_escalation &&
-            kind == PreconditionerKind::Diagonal) {
-            kind = PreconditionerKind::NearFieldBlock;
-            build_precond(kind);
-            ++escalations;
+    // Right-hand sides b_k = (1/jw) P Ppot e_port. The P Ppot e_port part is
+    // frequency-independent, so a sweep computes it once and every later
+    // frequency only rescales by 1/jw.
+    std::vector<VectorC> rhs_base_local;
+    const std::vector<VectorC>* rhs_base = nullptr;
+    if (sweep && sweep->rhs_base.size() == p) {
+        rhs_base = &sweep->rhs_base;
+    } else {
+        rhs_base_local.assign(p, VectorC(m));
+        for (std::size_t k = 0; k < p; ++k) {
+            std::fill(tnode.begin(), tnode.end(), Complex{});
+            tnode[port_nodes[k]] = Complex(1.0, 0.0);
+            pop.apply(tnode, unode);
+            for (std::size_t b = 0; b < m; ++b)
+                rhs_base_local[k][b] =
+                    unode[branches[b].n1] - unode[branches[b].n2];
+        }
+        if (sweep) {
+            sweep->rhs_base = std::move(rhs_base_local);
+            rhs_base = &sweep->rhs_base;
+        } else {
+            rhs_base = &rhs_base_local;
+        }
+    }
+    std::vector<VectorC> rhs(p, VectorC(m));
+    for (std::size_t k = 0; k < p; ++k)
+        for (std::size_t b = 0; b < m; ++b)
+            rhs[k][b] = inv_jw * (*rhs_base)[k][b];
+
+    // Initial guesses. With a recycled subspace U on hand, A(ω)·U recombines
+    // from the cached component products (no operator applications), and
+    // each column warm-starts from the least-squares projection
+    // x0 = U argmin_y |b − A(ω) U y|. With recycling off, the previous
+    // frequency's solutions seed verbatim.
+    std::vector<VectorC> x0(p, VectorC(m, Complex{}));
+    if (sweep && options_.sweep.warm_start) {
+        const std::size_t d = sweep->basis_u.size();
+        if (d > 0) {
+            std::vector<VectorC> au(d, VectorC(m));
+            for (std::size_t j = 0; j < d; ++j)
+                for (std::size_t b = 0; b < m; ++b)
+                    au[j][b] = zsv * sweep->basis_d[j][b] +
+                               jw * sweep->basis_l[j][b] +
+                               inv_jw * sweep->basis_s[j][b];
+            // Thin QR of [A·u_1 … A·u_d] by modified Gram-Schmidt; the
+            // least squares then solves through Qᴴ and back-substitution.
+            // (Normal equations would square A's conditioning and cap the
+            // projected residual orders of magnitude above what the
+            // subspace actually supports — the warm start lives or dies on
+            // that floor.) Columns A maps to near-dependence are dropped.
+            MatrixC rq(d, d);
+            std::vector<bool> keep(d, true);
+            for (std::size_t j = 0; j < d; ++j) {
+                const double an0 = norm2(au[j]);
+                for (std::size_t i = 0; i < j; ++i) {
+                    if (!keep[i]) continue;
+                    const Complex rij = cdot(au[i], au[j]);
+                    rq(i, j) = rij;
+                    const VectorC& qi = au[i];
+                    for (std::size_t b = 0; b < m; ++b)
+                        au[j][b] -= rij * qi[b];
+                }
+                const double rjj = norm2(au[j]);
+                if (!(rjj > 1e-13 * an0)) {
+                    keep[j] = false;
+                    rq(j, j) = Complex(1.0, 0.0);
+                    continue;
+                }
+                rq(j, j) = rjj;
+                for (std::size_t b = 0; b < m; ++b) au[j][b] /= rjj;
+            }
+            VectorC qb(d), y(d);
+            for (std::size_t k = 0; k < p; ++k) {
+                double rnum = 0, rden = 0;
+                for (std::size_t b = 0; b < m; ++b)
+                    rden += std::norm(rhs[k][b]);
+                double captured = 0;
+                for (std::size_t j = 0; j < d; ++j) {
+                    qb[j] = keep[j] ? cdot(au[j], rhs[k]) : Complex{};
+                    captured += std::norm(qb[j]);
+                }
+                rnum = std::max(0.0, rden - captured);
+                if (rden > 0 && rnum < 0.98 * rden) {
+                    // The subspace captures a meaningful part of this
+                    // column: take the projected guess.
+                    for (std::size_t j = d; j-- > 0;) {
+                        if (!keep[j]) {
+                            y[j] = Complex{};
+                            continue;
+                        }
+                        Complex acc = qb[j];
+                        for (std::size_t t = j + 1; t < d; ++t)
+                            acc -= rq(j, t) * y[t];
+                        y[j] = acc / rq(j, j);
+                    }
+                    for (std::size_t j = 0; j < d; ++j)
+                        for (std::size_t b = 0; b < m; ++b)
+                            x0[k][b] += y[j] * sweep->basis_u[j][b];
+                    ++recycle_hits;
+                }
+            }
+            warm_started = true;
+        } else if (sweep->prev_solution.size() == p) {
+            x0 = sweep->prev_solution;
+            warm_started = true;
+        }
+    }
+
+    // Column solves with recovery. `ok` / `colres` track each column's
+    // state so escalation retries only the columns that actually stalled
+    // and the stats attribute only work actually performed.
+    std::vector<VectorC> cur(p);
+    std::vector<double> colres(p, 1.0);
+    std::vector<bool> ok(p, false);
+    auto run_attempt = [&]() {
+        std::vector<std::size_t> pend;
+        for (std::size_t k = 0; k < p; ++k)
+            if (!ok[k]) pend.push_back(k);
+        if (options_.sweep.block_solve && pend.size() > 1) {
+            std::vector<VectorC> bcols(pend.size()), xcols(pend.size());
+            for (std::size_t i = 0; i < pend.size(); ++i) {
+                bcols[i] = rhs[pend[i]];
+                xcols[i] = x0[pend[i]];
+            }
+            // The block shares one inner-iteration budget across its
+            // columns; scale it so each column keeps the same allowance the
+            // per-column path would grant.
+            GmresOptions bopt = options_.gmres;
+            bopt.max_iterations *= pend.size();
+            const BlockGmresResult br =
+                block_gmres(apply, bcols, xcols, bopt, precond);
+            ++block_solves;
+            solves_attempted += pend.size();
+            iters += br.iterations;
+            matvecs += br.matvecs;
+            restarts += br.cycles;
+            for (std::size_t i = 0; i < pend.size(); ++i) {
+                const std::size_t k = pend[i];
+                colres[k] = br.residuals[i];
+                cur[k] = std::move(xcols[i]);
+                ok[k] = colres[k] <= options_.fail_tol &&
+                        robust::all_finite(cur[k]);
+            }
             if (sid != obs::kStreamNone)
-                obs::stream_mark(sid, static_cast<double>(k),
-                                 "escalate:near_field_block");
+                obs::stream_append(sid, static_cast<double>(pend.size()),
+                                   static_cast<double>(br.iterations));
+        } else {
+            for (const std::size_t k : pend) {
+                VectorC v = x0[k];
+                const GmresResult gr =
+                    gmres(apply, rhs[k], v, options_.gmres, precond);
+                ++solves_attempted;
+                iters += gr.iterations;
+                matvecs += gr.matvecs;
+                restarts += gr.restarts;
+                colres[k] = gr.residual;
+                cur[k] = std::move(v);
+                ok[k] = colres[k] <= options_.fail_tol &&
+                        robust::all_finite(cur[k]);
+                if (!ok[k]) break; // escalate before touching later columns
+                if (sid != obs::kStreamNone)
+                    obs::stream_append(sid, static_cast<double>(k),
+                                       static_cast<double>(gr.iterations));
+            }
+        }
+        for (std::size_t k = 0; k < p; ++k)
+            if (!ok[k]) return false;
+        return true;
+    };
+
+    bool all_ok = run_attempt();
+    double worst_bad = 0;
+    for (std::size_t k = 0; k < p; ++k)
+        if (!ok[k]) worst_bad = std::max(worst_bad, colres[k]);
+
+    // Escalation rung 1: the stronger block-Jacobi preconditioner, sticky
+    // for the rest of this solver's lifetime.
+    if (!all_ok && recover && options_.recovery.allow_precond_escalation &&
+        kind == PreconditionerKind::Diagonal) {
+        kind = PreconditionerKind::NearFieldBlock;
+        active_precond_.store(kind, std::memory_order_relaxed);
+        build_precond(kind);
+        ++escalations;
+        if (sid != obs::kStreamNone)
+            obs::stream_mark(sid, 0.0, "escalate:near_field_block");
+        if (!escalation_noted_.exchange(true))
             robust::note_recovery(
                 &local_report, "em.precond_escalation",
-                "GMRES stalled at residual " + std::to_string(gr.residual) +
+                "GMRES stalled at residual " + std::to_string(worst_bad) +
                     " at f = " + std::to_string(freq_hz) +
-                    " Hz; escalated Diagonal -> NearFieldBlock");
-            cur.assign(m, Complex{});
-            gr = gmres(apply, rhs, cur, options_.gmres, precond);
-            iters += gr.iterations;
-            matvecs += gr.matvecs;
-            restarts += gr.restarts;
-            bad = gr.residual > options_.fail_tol ||
-                  !robust::all_finite(cur);
-        }
-        // Escalation rung 2: dense LU for the whole frequency point.
-        if (bad && recover && options_.recovery.allow_dense_fallback) {
-            if (sid != obs::kStreamNone)
-                obs::stream_mark(sid, static_cast<double>(k),
-                                 "escalate:dense_fallback");
-            robust::note_recovery(
-                &local_report, "em.dense_fallback",
-                "GMRES stalled at residual " + std::to_string(gr.residual) +
-                    " at f = " + std::to_string(freq_hz) +
-                    " Hz; recomputed the frequency with the dense solver");
-            MatrixC zd = dense_solver().port_impedance(freq_hz, port_nodes);
-            const std::lock_guard<std::mutex> lock(stats_mu_);
-            ++stats_.frequencies;
-            stats_.solves += p;
-            stats_.iterations += iters;
-            stats_.matvecs += matvecs;
-            stats_.restarts += restarts;
-            stats_.precond_escalations += escalations;
-            ++stats_.dense_fallbacks;
-            report_.merge(local_report);
-            return zd;
-        }
-        if (bad)
-            throw NumericalError(
-                "IterativeSolver: GMRES stalled at relative residual " +
-                std::to_string(gr.residual) + " (fail_tol " +
-                std::to_string(options_.fail_tol) + ") at f = " +
-                std::to_string(freq_hz) + " Hz, port node " +
-                std::to_string(port_nodes[k]));
-        worst = std::max(worst, gr.residual);
+                    " Hz; escalated Diagonal -> NearFieldBlock (sticky)");
+        all_ok = run_attempt();
+        worst_bad = 0;
+        for (std::size_t k = 0; k < p; ++k)
+            if (!ok[k]) worst_bad = std::max(worst_bad, colres[k]);
+    }
+    // Escalation rung 2: dense LU for the whole frequency point.
+    if (!all_ok && recover && options_.recovery.allow_dense_fallback) {
         if (sid != obs::kStreamNone)
-            obs::stream_append(sid, static_cast<double>(k),
-                               static_cast<double>(gr.iterations));
+            obs::stream_mark(sid, 0.0, "escalate:dense_fallback");
+        robust::note_recovery(
+            &local_report, "em.dense_fallback",
+            "GMRES stalled at residual " + std::to_string(worst_bad) +
+                " at f = " + std::to_string(freq_hz) +
+                " Hz; recomputed the frequency with the dense solver");
+        MatrixC zd = dense_solver().port_impedance(freq_hz, port_nodes);
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frequencies;
+        // Attribute only the column solves GMRES actually ran, and fold the
+        // residuals of the columns that did complete into the worst-residual
+        // telemetry — the dense recomputation replaces their results but not
+        // the fact that the work happened.
+        stats_.solves += solves_attempted;
+        stats_.block_solves += block_solves;
+        stats_.iterations += iters;
+        stats_.matvecs += matvecs;
+        stats_.restarts += restarts;
+        stats_.precond_escalations += escalations;
+        ++stats_.dense_fallbacks;
+        for (std::size_t k = 0; k < p; ++k)
+            if (ok[k])
+                stats_.worst_residual =
+                    std::max(stats_.worst_residual, colres[k]);
+        if (sweep) {
+            ++stats_.sweep_points;
+            if (warm_started) ++stats_.warm_starts;
+            stats_.recycle_hits += recycle_hits;
+        }
+        report_.merge(local_report);
+        return zd;
+    }
+    if (!all_ok)
+        throw NumericalError(
+            "IterativeSolver: GMRES stalled at relative residual " +
+            std::to_string(worst_bad) + " (fail_tol " +
+            std::to_string(options_.fail_tol) + ") at f = " +
+            std::to_string(freq_hz) + " Hz");
 
-        // V = (1/jw) Ppot (J − Pᵀ I); Z(q, k) = V at port q.
+    // V = (1/jw) Ppot (J − Pᵀ I); Z(q, k) = V at port q.
+    for (std::size_t k = 0; k < p; ++k) {
         std::fill(tnode.begin(), tnode.end(), Complex{});
         tnode[port_nodes[k]] = Complex(1.0, 0.0);
         for (std::size_t b = 0; b < m; ++b) {
-            tnode[branches[b].n1] -= cur[b];
-            tnode[branches[b].n2] += cur[b];
+            tnode[branches[b].n1] -= cur[k][b];
+            tnode[branches[b].n2] += cur[k][b];
         }
         pop.apply(tnode, unode);
         for (std::size_t q = 0; q < p; ++q)
             z(q, k) = inv_jw * unode[port_nodes[q]];
     }
+
+    // Grow the recycled subspace with this frequency's solutions: modified
+    // Gram-Schmidt against the existing basis, then cache the operator
+    // component products (one L and one P·Ppot·Pᵀ application per retained
+    // vector) so any later frequency recombines A(ω)·u for free. Solutions
+    // are the right thing to recycle — they sample the analytic solution
+    // manifold x(ω), which the multilevel sweep order then lets every later
+    // point interpolate; recycling raw Krylov directions instead floods the
+    // basis with one point's fine corrections and evicts that manifold.
+    // Oldest vectors are evicted first; dropping a vector from an
+    // orthonormal set keeps it orthonormal.
+    std::size_t saved_iters = 0;
+    if (sweep) {
+        if (options_.sweep.warm_start && options_.sweep.recycle_dim > 0) {
+            for (std::size_t k = 0; k < p; ++k) {
+                VectorC u = cur[k];
+                const double xn = norm2(u);
+                for (std::size_t j = 0; j < sweep->basis_u.size(); ++j) {
+                    const Complex c = cdot(sweep->basis_u[j], u);
+                    const VectorC& uj = sweep->basis_u[j];
+                    for (std::size_t b = 0; b < m; ++b) u[b] -= c * uj[b];
+                }
+                const double un = norm2(u);
+                if (!(un > 1e-10 * xn)) continue; // already spanned
+                for (std::size_t b = 0; b < m; ++b) u[b] /= un;
+                VectorC du(m), lu(m), su(m);
+                for (std::size_t b = 0; b < m; ++b)
+                    du[b] = zs_scale_[b] * u[b];
+                lop.apply(u, lu);
+                std::fill(tnode.begin(), tnode.end(), Complex{});
+                for (std::size_t b = 0; b < m; ++b) {
+                    tnode[branches[b].n1] += u[b];
+                    tnode[branches[b].n2] -= u[b];
+                }
+                pop.apply(tnode, unode);
+                for (std::size_t b = 0; b < m; ++b)
+                    su[b] = unode[branches[b].n1] - unode[branches[b].n2];
+                ++recycle_applies;
+                ++matvecs; // one full A-component application
+                sweep->basis_u.push_back(std::move(u));
+                sweep->basis_d.push_back(std::move(du));
+                sweep->basis_l.push_back(std::move(lu));
+                sweep->basis_s.push_back(std::move(su));
+            }
+            while (sweep->basis_u.size() > options_.sweep.recycle_dim) {
+                sweep->basis_u.erase(sweep->basis_u.begin());
+                sweep->basis_d.erase(sweep->basis_d.begin());
+                sweep->basis_l.erase(sweep->basis_l.begin());
+                sweep->basis_s.erase(sweep->basis_s.begin());
+            }
+        }
+        sweep->prev_solution = std::move(cur);
+        if (!sweep->have_cold) {
+            sweep->have_cold = true;
+            sweep->cold_iterations = iters;
+        } else if (iters < sweep->cold_iterations) {
+            saved_iters = sweep->cold_iterations - iters;
+        }
+    }
+
     {
+        static obs::Counter& c_warm = obs::counter("em.sweep.warm_starts");
+        static obs::Counter& c_hits = obs::counter("em.sweep.recycle_hits");
+        static obs::Counter& c_saved =
+            obs::counter("em.sweep.saved_iterations");
         const std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.frequencies;
-        stats_.solves += p;
+        stats_.solves += solves_attempted;
+        stats_.block_solves += block_solves;
         stats_.iterations += iters;
         stats_.matvecs += matvecs;
         stats_.restarts += restarts;
         stats_.precond_escalations += escalations;
-        stats_.worst_residual = std::max(stats_.worst_residual, worst);
+        for (std::size_t k = 0; k < p; ++k)
+            stats_.worst_residual = std::max(stats_.worst_residual, colres[k]);
+        if (sweep) {
+            ++stats_.sweep_points;
+            if (warm_started) {
+                ++stats_.warm_starts;
+                ++c_warm;
+            }
+            stats_.recycle_hits += recycle_hits;
+            stats_.recycle_applies += recycle_applies;
+            stats_.saved_iterations += saved_iters;
+            c_hits.add(recycle_hits);
+            c_saved.add(saved_iters);
+        }
         report_.merge(local_report);
     }
     return z;
@@ -303,7 +561,7 @@ MatrixC IterativeSolver::port_impedance(
     PGSI_TRACE_SCOPE("em.solve.port_impedance_iterative");
     ensure_setup();
     const auto t0 = std::chrono::steady_clock::now();
-    MatrixC z = solve_ports(freq_hz, port_nodes);
+    MatrixC z = solve_ports(freq_hz, port_nodes, nullptr);
     const double dt = seconds_since(t0);
     {
         const std::lock_guard<std::mutex> lock(stats_mu_);
@@ -315,14 +573,75 @@ MatrixC IterativeSolver::port_impedance(
 std::vector<MatrixC> IterativeSolver::sweep_impedance(
     const VectorD& freqs_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_TRACE_SCOPE("em.solve.sweep");
-    // Build the operators and tile partition once, then fan the independent
-    // frequency points out over the pool; the FFT/GMRES kernels run inline
-    // inside pool workers (the sweep level owns the parallelism).
     ensure_setup();
     std::vector<MatrixC> out(freqs_hz.size());
-    par::parallel_for(freqs_hz.size(), [&](std::size_t i) {
-        out[i] = port_impedance(freqs_hz[i], port_nodes);
-    });
+    if (!options_.sweep.engine || freqs_hz.size() < 2) {
+        // Independent cold solves fanned out over the pool; the FFT/GMRES
+        // kernels run inline inside pool workers (the sweep level owns the
+        // parallelism).
+        par::parallel_for(freqs_hz.size(), [&](std::size_t i) {
+            out[i] = port_impedance(freqs_hz[i], port_nodes);
+        });
+        return out;
+    }
+    // Sweep engine: frequencies run sequentially so each point reuses the
+    // previous points' Krylov work (warm starts, recycled subspace, cached
+    // rhs bases). The kernels inside each point still use the pool, and all
+    // cross-frequency decisions are serial, so results are bitwise
+    // independent of the thread count. Validation of the inputs matches
+    // port_impedance.
+    PGSI_REQUIRE(!port_nodes.empty(), "IterativeSolver: no port nodes given");
+    for (const std::size_t node : port_nodes)
+        PGSI_REQUIRE(node < bem_.node_count(),
+                     "IterativeSolver: port node out of range");
+    const std::size_t sid = obs::streams_enabled()
+                                ? obs::stream_open("em.sweep.iterations")
+                                : obs::kStreamNone;
+    // Multilevel solve order: endpoints first, then level-by-level segment
+    // midpoints (breadth-first bisection). With subspace recycling on, each
+    // later point is bracketed by already-solved frequencies, so the
+    // warm-start projection interpolates instead of extrapolating — the
+    // projected initial residual drops by orders of magnitude, which is
+    // where the sweep's matvec savings come from. Without recycling the
+    // natural order is kept: the previous-solution seed wants adjacency.
+    std::vector<std::size_t> order;
+    order.reserve(freqs_hz.size());
+    if (options_.sweep.warm_start && options_.sweep.recycle_dim > 0) {
+        order.push_back(0);
+        order.push_back(freqs_hz.size() - 1);
+        std::vector<std::pair<std::size_t, std::size_t>> level{
+            {0, freqs_hz.size() - 1}};
+        while (!level.empty()) {
+            std::vector<std::pair<std::size_t, std::size_t>> next;
+            for (const auto& [lo, hi] : level) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                if (mid == lo || mid == hi) continue;
+                order.push_back(mid);
+                next.emplace_back(lo, mid);
+                next.emplace_back(mid, hi);
+            }
+            level = std::move(next);
+        }
+    } else {
+        for (std::size_t i = 0; i < freqs_hz.size(); ++i) order.push_back(i);
+    }
+    SweepState sweep;
+    for (const std::size_t i : order) {
+        PGSI_REQUIRE(freqs_hz[i] > 0,
+                     "IterativeSolver: frequency must be positive");
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t iters_before = stats_.iterations;
+        out[i] = solve_ports(freqs_hz[i], port_nodes, &sweep);
+        const double dt = seconds_since(t0);
+        {
+            const std::lock_guard<std::mutex> lock(stats_mu_);
+            stats_.solve_seconds += dt;
+        }
+        if (sid != obs::kStreamNone)
+            obs::stream_append(
+                sid, freqs_hz[i],
+                static_cast<double>(stats_.iterations - iters_before));
+    }
     return out;
 }
 

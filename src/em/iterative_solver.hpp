@@ -28,6 +28,7 @@
 // exact dense products, so the backend stays correct (just not O(M log M)).
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -39,14 +40,31 @@ namespace pgsi {
 /// it has processed.
 struct IterativeSolverStats {
     std::size_t frequencies = 0; ///< port_impedance evaluations
-    std::size_t solves = 0;      ///< GMRES solves (one per port column)
+    /// Column solves actually attempted (one per port column per attempt in
+    /// the per-column path; the full column count for a block solve). A
+    /// frequency that fell back to the dense solver contributes only the
+    /// columns GMRES actually worked on.
+    std::size_t solves = 0;
+    std::size_t block_solves = 0; ///< multi-RHS block GMRES calls
     std::size_t iterations = 0;  ///< total inner GMRES iterations
     std::size_t matvecs = 0;     ///< total operator applications
-    std::size_t restarts = 0;    ///< total restart cycles
-    /// Stalled columns recovered by escalating Diagonal → NearFieldBlock.
+    std::size_t restarts = 0;    ///< total restart / seed cycles
+    /// Stalled solves recovered by escalating Diagonal → NearFieldBlock.
     std::size_t precond_escalations = 0;
     /// Frequency points recovered by falling back to the dense solver.
     std::size_t dense_fallbacks = 0;
+    /// Sweep-engine telemetry. sweep_points counts frequencies routed
+    /// through the engine; warm_starts counts frequencies seeded from prior
+    /// work; recycle_hits counts columns whose recycled-subspace projection
+    /// reduced the initial residual; recycle_applies counts operator
+    /// applications spent caching new recycled basis vectors (included in
+    /// `matvecs`); saved_iterations estimates iterations avoided versus the
+    /// sweep's own first (cold) frequency point.
+    std::size_t sweep_points = 0;
+    std::size_t warm_starts = 0;
+    std::size_t recycle_hits = 0;
+    std::size_t recycle_applies = 0;
+    std::size_t saved_iterations = 0;
     double setup_seconds = 0;    ///< operator build + tile partition
     double solve_seconds = 0;    ///< GMRES + recovery wall time
     double worst_residual = 0;   ///< largest final true relative residual
@@ -79,9 +97,31 @@ public:
     const robust::RecoveryReport& recovery_report() const { return report_; }
 
 private:
+    /// Cross-frequency state threaded through one sweep_impedance call when
+    /// the sweep engine is on. Owned by the (sequential) sweep loop — never
+    /// shared between threads.
+    struct SweepState {
+        /// Frequency-independent part of each port column's right-hand side
+        /// (P Ppot e_port differences); the per-frequency rhs is 1/jω times
+        /// this, so repeat frequencies skip the potential-operator apply.
+        std::vector<VectorC> rhs_base;
+        /// Previous frequency's solution columns, the warm-start seed when
+        /// recycling is off.
+        std::vector<VectorC> prev_solution;
+        /// Recycled subspace: orthonormal basis u with the operator
+        /// component products cached per vector (d = len/w scaling, l = L·u,
+        /// s = P Ppot Pᵀ u), so A(ω)·u recombines at any ω without matvecs.
+        std::vector<VectorC> basis_u, basis_d, basis_l, basis_s;
+        /// Iterations the sweep's first (cold) frequency point needed — the
+        /// baseline for the saved-iterations estimate.
+        std::size_t cold_iterations = 0;
+        bool have_cold = false;
+    };
+
     void ensure_setup() const;
     MatrixC solve_ports(double freq_hz,
-                        const std::vector<std::size_t>& port_nodes) const;
+                        const std::vector<std::size_t>& port_nodes,
+                        SweepState* sweep) const;
     const DirectSolver& dense_solver() const;
 
     const PlaneBem& bem_;
@@ -91,6 +131,13 @@ private:
     mutable bool setup_done_ = false;
     mutable std::vector<double> zs_scale_;              ///< len/width per branch
     mutable std::vector<std::vector<std::size_t>> tiles_; ///< branch ids per tile
+    /// Current preconditioner rung. Escalation is sticky for the lifetime of
+    /// the solver: once a stall promoted Diagonal → NearFieldBlock, every
+    /// later frequency starts from the stronger kind instead of re-paying
+    /// the stall. Atomic because legacy (non-engine) sweeps solve
+    /// frequencies on pool workers.
+    mutable std::atomic<PreconditionerKind> active_precond_;
+    mutable std::atomic<bool> escalation_noted_{false}; // report once
     mutable std::mutex stats_mu_; // sweeps update stats_ from pool workers
     mutable IterativeSolverStats stats_;
     mutable robust::RecoveryReport report_;

@@ -1,0 +1,221 @@
+#include "em/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stream.hpp"
+#include "obs/trace.hpp"
+
+namespace pgsi {
+
+namespace {
+
+// Fit one Z entry over the solved samples. The fit order is clamped to what
+// the sample count can support (each pole-relocation pass solves a least
+// squares with ~3np/2 unknowns against 2ns real equations), and a degenerate
+// system retries with fewer poles instead of giving up outright.
+RationalFit fit_entry(const VectorD& fs, const VectorC& h,
+                      const VectorFitOptions& base) {
+    int np = std::min<int>(
+        base.n_poles, static_cast<int>((2 * fs.size() - 2) / 3));
+    np -= np % 2; // poles come in conjugate pairs
+    for (; np >= 2; np -= 2) {
+        VectorFitOptions o = base;
+        o.n_poles = np;
+        try {
+            return vector_fit(fs, h, o);
+        } catch (const NumericalError&) {
+            // Singular least squares at this order; retry lower.
+        }
+    }
+    throw NumericalError("adaptive_sweep: rational fit degenerated");
+}
+
+} // namespace
+
+AdaptiveSweepResult adaptive_sweep_impedance(
+    const PlaneSolver& solver, const VectorD& freqs_hz,
+    const std::vector<std::size_t>& port_nodes,
+    const AdaptiveSweepOptions& options) {
+    PGSI_REQUIRE(!freqs_hz.empty(), "adaptive_sweep: no frequencies given");
+    PGSI_REQUIRE(!port_nodes.empty(), "adaptive_sweep: no port nodes given");
+    PGSI_REQUIRE(options.tol > 0, "adaptive_sweep: tol must be positive");
+    for (std::size_t i = 0; i + 1 < freqs_hz.size(); ++i)
+        PGSI_REQUIRE(freqs_hz[i] < freqs_hz[i + 1],
+                     "adaptive_sweep: frequencies must be strictly increasing");
+    PGSI_TRACE_SCOPE("em.sweep.adaptive");
+
+    static obs::Counter& c_solves = obs::counter("em.sweep.adaptive_solves");
+    static obs::Counter& c_refines =
+        obs::counter("em.sweep.adaptive_refinements");
+    const std::size_t sid = obs::streams_enabled()
+                                ? obs::stream_open("em.sweep.adaptive")
+                                : obs::kStreamNone;
+
+    const std::size_t nf = freqs_hz.size();
+    const std::size_t p = port_nodes.size();
+    AdaptiveSweepResult res;
+    res.z.resize(nf);
+    res.solved.assign(nf, false);
+
+    double zmax = 0; // largest solved |Z| entry, floors the error scale
+    auto solve_batch = [&](const std::vector<std::size_t>& idx) {
+        if (idx.empty()) return;
+        VectorD fs(idx.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) fs[i] = freqs_hz[idx[i]];
+        std::vector<MatrixC> zs = solver.sweep_impedance(fs, port_nodes);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            for (std::size_t r = 0; r < p; ++r)
+                for (std::size_t c = 0; c < p; ++c)
+                    zmax = std::max(zmax, std::abs(zs[i](r, c)));
+            res.z[idx[i]] = std::move(zs[i]);
+            res.solved[idx[i]] = true;
+        }
+        res.solves += idx.size();
+        c_solves.add(idx.size());
+    };
+    auto solve_all_remaining = [&]() {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < nf; ++i)
+            if (!res.solved[i]) idx.push_back(i);
+        solve_batch(idx);
+    };
+
+    // Grids too small for the coarse-plus-probes machinery to save anything
+    // are solved outright (every probe would touch every point anyway).
+    const std::size_t nc =
+        std::max<std::size_t>(2, std::min(options.coarse_points, nf));
+    if (nf <= nc + 2) {
+        solve_all_remaining();
+        return res;
+    }
+
+    // Coarse subset: evenly spread over the grid indices, endpoints pinned.
+    std::vector<std::size_t> coarse;
+    for (std::size_t i = 0; i < nc; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(std::llround(
+            static_cast<double>(i) * static_cast<double>(nf - 1) /
+            static_cast<double>(nc - 1)));
+        if (coarse.empty() || idx != coarse.back()) coarse.push_back(idx);
+    }
+    solve_batch(coarse);
+
+    // One rational model per upper-triangle Z entry (Z is reciprocal), refit
+    // whenever a probe fails validation. A fit that degenerates even at the
+    // lowest order abandons interpolation: everything left is solved.
+    std::vector<RationalFit> model(p * (p + 1) / 2);
+    auto refit = [&]() {
+        std::vector<std::size_t> samples;
+        for (std::size_t i = 0; i < nf; ++i)
+            if (res.solved[i]) samples.push_back(i);
+        VectorD fs(samples.size());
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            fs[i] = freqs_hz[samples[i]];
+        std::size_t e = 0;
+        for (std::size_t r = 0; r < p; ++r)
+            for (std::size_t c = r; c < p; ++c, ++e) {
+                VectorC h(samples.size());
+                for (std::size_t i = 0; i < samples.size(); ++i)
+                    h[i] = res.z[samples[i]](r, c);
+                model[e] = fit_entry(fs, h, options.fit);
+            }
+    };
+    // Worst entrywise model-vs-solve mismatch at a solved grid point,
+    // relative to the entry magnitude floored at 1e-3 of the global peak.
+    auto probe_error = [&](std::size_t idx) {
+        double worst = 0;
+        std::size_t e = 0;
+        for (std::size_t r = 0; r < p; ++r)
+            for (std::size_t c = r; c < p; ++c, ++e) {
+                const Complex zs = res.z[idx](r, c);
+                const Complex zm = model[e].evaluate(freqs_hz[idx]);
+                const double scale =
+                    std::max(std::abs(zs), 1e-3 * std::max(zmax, 1e-300));
+                worst = std::max(worst, std::abs(zm - zs) / scale);
+            }
+        return worst;
+    };
+
+    // Evaluate the current model into an unsolved grid point.
+    std::vector<bool> filled(nf, false);
+    auto fill_point = [&](std::size_t idx) {
+        MatrixC z(p, p);
+        std::size_t e = 0;
+        for (std::size_t r = 0; r < p; ++r)
+            for (std::size_t c = r; c < p; ++c, ++e)
+                z(r, c) = z(c, r) = model[e].evaluate(freqs_hz[idx]);
+        res.z[idx] = std::move(z);
+        filled[idx] = true;
+    };
+
+    try {
+        refit();
+        // Gaps between consecutive solved points, probed at their midpoints.
+        // An accepted probe validates its whole gap; a rejected probe splits
+        // the gap and forces a refit with the new sample included.
+        std::vector<std::pair<std::size_t, std::size_t>> pending;
+        for (std::size_t i = 0; i + 1 < coarse.size(); ++i)
+            if (coarse[i + 1] > coarse[i] + 1)
+                pending.emplace_back(coarse[i], coarse[i + 1]);
+        while (!pending.empty()) {
+            if (options.max_solves && res.solves >= options.max_solves) break;
+            std::size_t budget = pending.size();
+            if (options.max_solves)
+                budget = std::min<std::size_t>(
+                    budget, options.max_solves - res.solves);
+            std::vector<std::size_t> mids(budget);
+            for (std::size_t i = 0; i < budget; ++i)
+                mids[i] = (pending[i].first + pending[i].second) / 2;
+            solve_batch(mids);
+
+            std::vector<std::pair<std::size_t, std::size_t>> next(
+                pending.begin() + static_cast<std::ptrdiff_t>(budget),
+                pending.end());
+            bool refined = false;
+            for (std::size_t i = 0; i < budget; ++i) {
+                const auto [lo, hi] = pending[i];
+                const double err = probe_error(mids[i]);
+                if (sid != obs::kStreamNone)
+                    obs::stream_append(sid, freqs_hz[mids[i]], err);
+                if (err <= options.tol) {
+                    res.worst_validated_error =
+                        std::max(res.worst_validated_error, err);
+                    // Fill the gap's interior NOW, from the exact model
+                    // instance the probe just validated. Later refits (driven
+                    // by other gaps' refinements) can reshape the model away
+                    // from this gap's validated behavior, so deferring the
+                    // fill would disconnect it from the validation.
+                    for (std::size_t j = lo + 1; j < hi; ++j)
+                        if (!res.solved[j] && !filled[j]) fill_point(j);
+                    continue;
+                }
+                ++res.refinements;
+                ++c_refines;
+                refined = true;
+                if (sid != obs::kStreamNone)
+                    obs::stream_mark(sid, freqs_hz[mids[i]], "refine");
+                if (mids[i] > lo + 1) next.emplace_back(lo, mids[i]);
+                if (hi > mids[i] + 1) next.emplace_back(mids[i], hi);
+            }
+            if (refined) refit();
+            pending = std::move(next);
+        }
+        // Points left neither solved nor validated-filled (gaps dropped by
+        // the max_solves cap) get the latest model — best effort, and the
+        // `solved` mask tells the caller these are unvalidated.
+        for (std::size_t i = 0; i < nf; ++i)
+            if (!res.solved[i] && !filled[i]) fill_point(i);
+    } catch (const NumericalError&) {
+        // Rational interpolation is not viable on this data; degrade to the
+        // exhaustive sweep rather than returning model-shaped garbage.
+        if (sid != obs::kStreamNone)
+            obs::stream_mark(sid, 0.0, "fit_degenerate:solve_all");
+        solve_all_remaining();
+    }
+    return res;
+}
+
+} // namespace pgsi

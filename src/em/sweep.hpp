@@ -1,0 +1,73 @@
+// Adaptive frequency-sweep driver: solve few, interpolate the rest.
+//
+// A plane's Z(f) is smooth between resonances and sharply peaked at them, so
+// a uniform fine grid wastes most of its solves on featureless stretches.
+// This driver solves a coarse subset of the requested grid, fits each Z
+// entry with a rational model (the vector-fitting engine of
+// extract/vector_fit), and then *validates* the model where it claims to
+// interpolate: the midpoint of every unvalidated gap between solved points
+// is solved for real and compared against the model's prediction. Where they
+// agree within tolerance the gap is accepted and its remaining points come
+// from the model; where they disagree the probe becomes a new sample, the
+// model is refit, and the two half-gaps queue for their own probes. The
+// refinement therefore concentrates solves exactly where the rational
+// interpolant is wrong — around resonances — and the returned error bound
+// is backed by actual solves, not by the fit's self-reported residual.
+//
+// Probes of one round are batched into a single sweep_impedance call so the
+// iterative backend's sweep engine (block solves, warm starts, recycling)
+// amortizes across them.
+#pragma once
+
+#include <vector>
+
+#include "em/solver.hpp"
+#include "extract/vector_fit.hpp"
+
+namespace pgsi {
+
+/// Controls for adaptive_sweep_impedance.
+struct AdaptiveSweepOptions {
+    /// Size of the initial coarse subset (endpoints always included). The
+    /// coarse points are spread evenly over the requested grid indices.
+    std::size_t coarse_points = 9;
+    /// Acceptance threshold for a validation probe: worst entrywise
+    /// |Z_model − Z_solved| / scale over the port matrix, where scale floors
+    /// at 1e-3 of the largest solved |Z| entry so near-zeros of Z do not
+    /// demand absurd relative accuracy.
+    double tol = 1e-3;
+    /// Hard cap on the number of actual solves (0 = no cap). When the cap
+    /// binds, remaining unvalidated gaps are filled from the model anyway;
+    /// check AdaptiveSweepResult::solved to see which points are real.
+    std::size_t max_solves = 0;
+    /// Rational-fit controls. n_poles is clamped to what the current sample
+    /// count supports; a degenerate fit retries with fewer poles.
+    VectorFitOptions fit;
+};
+
+/// Outcome of an adaptive sweep over a requested frequency grid.
+struct AdaptiveSweepResult {
+    /// Z at every requested frequency: solved points verbatim, the rest
+    /// evaluated from the final rational model.
+    std::vector<MatrixC> z;
+    /// Per requested frequency: true when that point was actually solved.
+    std::vector<bool> solved;
+    std::size_t solves = 0;      ///< actual solver evaluations performed
+    std::size_t refinements = 0; ///< probes that failed validation
+    /// Largest validation-probe error among the *accepted* gaps — an
+    /// actually-measured bound on the model's interpolation error, not the
+    /// fit's own residual.
+    double worst_validated_error = 0;
+};
+
+/// Adaptively sweep Z(f) over `freqs_hz` (strictly increasing) at the given
+/// port nodes, solving only where rational interpolation cannot be
+/// validated. Falls back to solving every point when the grid is too small
+/// to profit or the rational fit degenerates. Throws InvalidArgument on an
+/// empty/unsorted grid or empty port list.
+AdaptiveSweepResult adaptive_sweep_impedance(
+    const PlaneSolver& solver, const VectorD& freqs_hz,
+    const std::vector<std::size_t>& port_nodes,
+    const AdaptiveSweepOptions& options = {});
+
+} // namespace pgsi

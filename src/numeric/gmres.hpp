@@ -43,7 +43,10 @@ struct GmresResult {
 };
 
 /// Solve A x = b. `x` carries the initial guess on entry (pass a zero vector
-/// of size b.size() for a cold start) and the solution on return.
+/// of size b.size() for a cold start) and the solution on return. An
+/// identically-zero initial guess skips the initial operator application:
+/// there r = b and the relative residual is exactly 1, so a cold start costs
+/// no matvec until the first Arnoldi step.
 /// `precond`, when non-null, applies z = M^{-1} v (right preconditioning);
 /// it must be a fixed linear operator for the duration of the solve.
 /// Telemetry lands in the returned struct and in the pgsi::obs counters
@@ -51,5 +54,43 @@ struct GmresResult {
 GmresResult gmres(const LinearOpC& a, const VectorC& b, VectorC& x,
                   const GmresOptions& opt = {},
                   const LinearOpC& precond = nullptr);
+
+/// Telemetry of one block (multi-RHS) GMRES solve.
+struct BlockGmresResult {
+    bool converged = false;      ///< every column reached opt.tol
+    std::size_t iterations = 0;  ///< Arnoldi steps summed over all cycles
+    std::size_t matvecs = 0;     ///< operator applications (shared basis +
+                                 ///< per-column true-residual verifications)
+    std::size_t cycles = 0;      ///< seed cycles (block analogue of restarts)
+    std::size_t deflated = 0;    ///< columns retired before the last cycle
+    /// Cycles where a column's shared-basis estimate claimed convergence but
+    /// the recomputed true residual disagreed; the column stays active with
+    /// a tightened per-column estimate target.
+    std::size_t estimate_retries = 0;
+    std::vector<double> residuals; ///< final true relative residual per column
+    double worst_residual = 0;     ///< max over `residuals`
+};
+
+/// Solve A X = B for several right-hand sides against one shared Arnoldi
+/// basis (the sweep engine's per-frequency block solve). Each cycle seeds
+/// the basis with the worst column's residual; every other active column's
+/// least-squares problem rides the same basis and the same Givens rotations,
+/// so its residual estimate costs one inner product per Arnoldi step instead
+/// of its own operator applications. Columns whose verified true residual
+/// reaches opt.tol are deflated (dropped from later cycles). Correlated
+/// right-hand sides — port columns of one operator, warm-started residuals
+/// of adjacent frequency points — converge in far fewer total matvecs than
+/// column-by-column solves; worst case (orthogonal residuals) degrades to
+/// roughly the per-column cost plus the cheap projection dots.
+///
+/// `x` carries the per-column initial guesses (identically-zero guesses skip
+/// the initial residual matvec, as in gmres()) and the solutions on return.
+/// All inner products are serial, so results are bitwise independent of the
+/// thread count. Counters: gmres.block_solves plus the shared
+/// gmres.iterations / gmres.matvecs / gmres.restarts.
+BlockGmresResult block_gmres(const LinearOpC& a, const std::vector<VectorC>& b,
+                             std::vector<VectorC>& x,
+                             const GmresOptions& opt = {},
+                             const LinearOpC& precond = nullptr);
 
 } // namespace pgsi

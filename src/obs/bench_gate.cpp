@@ -22,7 +22,7 @@ MetricClass classify(std::string_view key) {
     static constexpr std::string_view kSkip[] = {
         "n",       "nodes",   "branches",      "threads",
         "schema",  "sweep_freqs", "cache_entries", "fill_speedup",
-        "speedup", "peak_rss_bytes",
+        "speedup", "peak_rss_bytes", "matvec_reduction",
     };
     for (const std::string_view s : kSkip)
         if (key == s) return MetricClass::Skip;

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/robust.hpp"
 #include "em/cavity_model.hpp"
+#include "em/iterative_solver.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/lu.hpp"
 
@@ -329,6 +330,49 @@ CheckResult inv_backend_iterative(const InvariantContext& ctx) {
     return r;
 }
 
+// Multi-point sweep through the sweep engine (block solves, warm starts,
+// recycled subspace): the engine's reuse machinery must not move the answer.
+// Every point of an engine sweep has to match an independent cold direct
+// solve to the backend tolerance, and the engine has to actually engage
+// (warm-started points, sequential sweep accounting) — a silently-cold sweep
+// would pass equivalence while testing nothing.
+CheckResult inv_sweep_recycle(const InvariantContext& ctx) {
+    if (!ctx.bem.uniform_lattice())
+        return skipped("sweep_recycle", "mesh is not on a uniform lattice");
+    CheckResult r;
+    r.invariant = "sweep_recycle";
+    r.tolerance = ctx.tol.backend_z;
+    SolverOptions opt;
+    opt.backend = SolverBackend::Iterative;
+    const IterativeSolver iter(ctx.bem, ctx.scenario.surface_impedance(), opt);
+    const VectorD freqs{0.25 * ctx.f10, 0.45 * ctx.f10, 0.65 * ctx.f10,
+                        0.85 * ctx.f10};
+    const std::vector<MatrixC> zi = iter.sweep_impedance(freqs, ctx.ports);
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const MatrixC zd = ctx.direct.port_impedance(freqs[i], ctx.ports);
+        if (!all_finite(zd) || !all_finite(zi[i]))
+            return non_finite("sweep_recycle", freqs[i]);
+        const double err = relative_diff(zd, zi[i]);
+        if (err > r.error) {
+            r.error = err;
+            if (err > r.tolerance)
+                r.detail = "direct vs engine sweep rel=" + fmt(err) +
+                           " at f=" + fmt(freqs[i]);
+        }
+    }
+    const IterativeSolverStats& st = iter.stats();
+    if (st.sweep_points != freqs.size() || st.warm_starts == 0) {
+        r.pass = false;
+        r.error = std::max(r.error, 1.0);
+        r.detail = "sweep engine did not engage: sweep_points=" +
+                   std::to_string(st.sweep_points) +
+                   " warm_starts=" + std::to_string(st.warm_starts);
+        return r;
+    }
+    r.pass = r.error <= r.tolerance;
+    return r;
+}
+
 CheckResult inv_backend_cavity(const InvariantContext& ctx) {
     if (!ctx.scenario.separable())
         return skipped("backend_cavity", "not a single full rectangle");
@@ -398,6 +442,7 @@ const std::vector<PlaneInvariant>& plane_invariants() {
         {"dc_resistance", "limits", inv_dc_resistance},
         {"assembly_cache", "backends", inv_assembly_cache},
         {"backend_iterative", "backends", inv_backend_iterative},
+        {"sweep_recycle", "backends", inv_sweep_recycle},
         {"backend_cavity", "backends", inv_backend_cavity},
     };
     return registry;

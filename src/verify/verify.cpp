@@ -68,6 +68,7 @@ double ladder_tolerance(const ToleranceLadder& tol, const std::string& name) {
     if (name == "dc_resistance") return tol.dc_resistance;
     if (name == "assembly_cache") return tol.assembly;
     if (name == "backend_iterative") return tol.backend_z;
+    if (name == "sweep_recycle") return tol.backend_z;
     if (name == "backend_cavity") return tol.cavity;
     if (name == "energy_balance") return tol.energy;
     if (name == "fault_recovery") return tol.recovery;

@@ -1,9 +1,11 @@
 // Restarted GMRES against dense LU on complex systems.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "common/error.hpp"
+#include "common/robust.hpp"
 #include "numeric/gmres.hpp"
 #include "numeric/lu.hpp"
 
@@ -125,6 +127,8 @@ TEST(Gmres, WarmStartFromExactSolutionTakesNoIterations) {
     const GmresResult res = gmres(matrix_op(a), b, x, {});
     EXPECT_TRUE(res.converged);
     EXPECT_EQ(res.iterations, 0u);
+    // One operator application establishes the warm guess is already exact.
+    EXPECT_EQ(res.matvecs, 1u);
 }
 
 TEST(Gmres, ZeroRhsReturnsZero) {
@@ -133,7 +137,34 @@ TEST(Gmres, ZeroRhsReturnsZero) {
     VectorC x = random_vec(6, 1u); // nonzero initial guess must be discarded
     const GmresResult res = gmres(matrix_op(a), b, x, {});
     EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.matvecs, 0u);
     for (const Complex& v : x) EXPECT_EQ(v, Complex{});
+}
+
+TEST(Gmres, ZeroInitialGuessSkipsInitialResidualMatvec) {
+    // With x0 == 0 the initial residual is b and the relative residual is
+    // exactly 1 — no operator application is needed to start. Every matvec
+    // is then accounted for by Arnoldi steps plus one true-residual
+    // recomputation per cycle (and per estimate retry).
+    const std::size_t n = 24;
+    const MatrixC a = random_system(n, 41u);
+    const VectorC b = random_vec(n, 42u);
+
+    VectorC x(n, Complex{});
+    GmresOptions opt;
+    opt.tol = 1e-12;
+    const GmresResult cold = gmres(matrix_op(a), b, x, opt);
+    EXPECT_TRUE(cold.converged);
+    EXPECT_EQ(cold.matvecs,
+              cold.iterations + cold.restarts + cold.estimate_retries);
+
+    // A nonzero (inexact) warm start pays exactly one extra matvec for the
+    // initial true residual.
+    VectorC xw(n, Complex(0.1, 0.0));
+    const GmresResult warm = gmres(matrix_op(a), b, xw, opt);
+    EXPECT_TRUE(warm.converged);
+    EXPECT_EQ(warm.matvecs,
+              warm.iterations + warm.restarts + warm.estimate_retries + 1);
 }
 
 TEST(Gmres, IterationBudgetExhaustionReportsNotConverged) {
@@ -202,4 +233,118 @@ TEST(Gmres, IllConditionedOperatorTriggersEstimateRetryAndStillConverges) {
         den += std::norm(b[i]);
     }
     EXPECT_LE(std::sqrt(num / den), opt.tol * 1.01);
+}
+
+namespace {
+
+// Correlated right-hand sides: a shared base vector plus small per-column
+// perturbations, the shape warm-started sweep residuals take in practice.
+std::vector<VectorC> correlated_rhs(std::size_t n, std::size_t p,
+                                    unsigned seed, double spread) {
+    const VectorC base = random_vec(n, seed);
+    std::vector<VectorC> b(p, base);
+    for (std::size_t i = 1; i < p; ++i) {
+        const VectorC d = random_vec(n, seed + 100u * static_cast<unsigned>(i));
+        for (std::size_t t = 0; t < n; ++t) b[i][t] += spread * d[t];
+    }
+    return b;
+}
+
+} // namespace
+
+TEST(BlockGmres, MatchesColumnByColumnSolvesAndLu) {
+    const std::size_t n = 40, p = 4;
+    const MatrixC a = random_system(n, 51u);
+    const std::vector<VectorC> b = correlated_rhs(n, p, 52u, 1e-6);
+
+    GmresOptions opt;
+    opt.tol = 1e-12;
+    std::vector<VectorC> x(p, VectorC(n, Complex{}));
+    const BlockGmresResult blk = block_gmres(matrix_op(a), b, x, opt);
+    EXPECT_TRUE(blk.converged);
+    ASSERT_EQ(blk.residuals.size(), p);
+
+    const Lu<Complex> lu(a);
+    std::size_t column_matvecs = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        EXPECT_LE(blk.residuals[i], opt.tol);
+        EXPECT_LT(max_abs_diff(x[i], lu.solve(b[i])), 1e-10);
+
+        VectorC xc(n, Complex{});
+        const GmresResult col = gmres(matrix_op(a), b[i], xc, opt);
+        EXPECT_TRUE(col.converged);
+        EXPECT_LT(max_abs_diff(xc, lu.solve(b[i])), 1e-10);
+        column_matvecs += col.matvecs;
+    }
+    EXPECT_EQ(blk.worst_residual,
+              *std::max_element(blk.residuals.begin(), blk.residuals.end()));
+    // Correlated columns share the Arnoldi work: the block solve must beat
+    // solving each column on its own.
+    EXPECT_LT(blk.matvecs, column_matvecs);
+}
+
+TEST(BlockGmres, DeflatesEasyColumnsBeforeTheLastCycle) {
+    // Force several seed cycles with a small restart window; the correlated
+    // columns converge at different points, so at least one retires early.
+    const std::size_t n = 40, p = 3;
+    const MatrixC a = random_system(n, 61u);
+    const std::vector<VectorC> b = correlated_rhs(n, p, 62u, 1e-5);
+
+    GmresOptions opt;
+    opt.restart = 8;
+    opt.tol = 1e-11;
+    std::vector<VectorC> x(p, VectorC(n, Complex{}));
+    const BlockGmresResult res = block_gmres(matrix_op(a), b, x, opt);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.cycles, 2u);
+    EXPECT_GE(res.deflated, 1u);
+}
+
+TEST(BlockGmres, ZeroRhsColumnReturnsZeroWithoutWork) {
+    const std::size_t n = 20;
+    const MatrixC a = random_system(n, 71u);
+    std::vector<VectorC> b{random_vec(n, 72u), VectorC(n, Complex{})};
+    std::vector<VectorC> x{VectorC(n, Complex{}), random_vec(n, 73u)};
+    const BlockGmresResult res = block_gmres(matrix_op(a), b, x, {});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.residuals[1], 0.0);
+    for (const Complex& v : x[1]) EXPECT_EQ(v, Complex{});
+    EXPECT_LT(max_abs_diff(x[0], Lu<Complex>(a).solve(b[0])), 1e-9);
+}
+
+TEST(BlockGmres, InjectedStallReportsFailureWithoutTouchingX) {
+    const std::size_t n = 12, p = 2;
+    const MatrixC a = random_system(n, 81u);
+    const std::vector<VectorC> b = correlated_rhs(n, p, 82u, 0.1);
+    std::vector<VectorC> x(p, VectorC(n, Complex(0.25, -0.5)));
+    const std::vector<VectorC> x_before = x;
+
+    robust::FaultInjector::arm("gmres.stall", 1);
+    const BlockGmresResult res = block_gmres(matrix_op(a), b, x, {});
+    robust::FaultInjector::disarm_all();
+
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.worst_residual, 1.0);
+    EXPECT_EQ(res.iterations, 0u);
+    EXPECT_EQ(res.matvecs, 0u);
+    for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t t = 0; t < n; ++t)
+            EXPECT_EQ(x[i][t], x_before[i][t]);
+}
+
+TEST(BlockGmres, RejectsInvalidArguments) {
+    const MatrixC a = random_system(4, 91u);
+    std::vector<VectorC> b{random_vec(4, 92u), random_vec(4, 93u)};
+    std::vector<VectorC> x(2, VectorC(4, Complex{}));
+    EXPECT_THROW(block_gmres(matrix_op(a), {}, x, {}), InvalidArgument);
+
+    std::vector<VectorC> x_short(1, VectorC(4, Complex{}));
+    EXPECT_THROW(block_gmres(matrix_op(a), b, x_short, {}), InvalidArgument);
+
+    std::vector<VectorC> b_ragged{random_vec(4, 92u), random_vec(3, 93u)};
+    EXPECT_THROW(block_gmres(matrix_op(a), b_ragged, x, {}), InvalidArgument);
+
+    GmresOptions opt;
+    opt.restart = 0;
+    EXPECT_THROW(block_gmres(matrix_op(a), b, x, opt), InvalidArgument);
 }

@@ -3,6 +3,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/robust.hpp"
 #include "em/iterative_solver.hpp"
 #include "tests/test_util.hpp"
 #include "em/solver.hpp"
@@ -254,6 +255,72 @@ TEST(IterativeSolver, StalledSolveRecoversThroughDenseFallback) {
     const DirectSolver direct(bem, zs);
     const MatrixC zd = direct.port_impedance(1e9, ports);
     EXPECT_LT(max_rel_diff(z, zd), 1e-8);
+}
+
+// Regression: a dense fallback used to charge the stats with the full port
+// count of column solves (even the columns GMRES never reached after the
+// stall) and dropped the residuals of the columns that *did* complete from
+// the worst-residual telemetry. With the stall injected on the second of
+// three per-column solves, only the two attempted columns may count, and the
+// first (completed) column's residual must survive into worst_residual.
+TEST(IterativeSolver, DenseFallbackAttributesOnlyAttemptedSolves) {
+    const PlaneBem bem = make_bem(holey_mesh());
+    const SurfaceImpedance zs = SurfaceImpedance::from_sheet_resistance(1e-3);
+    SolverOptions opt = iterative_options();
+    opt.sweep.block_solve = false; // per-column path: one gmres() per port
+    const IterativeSolver iterative(bem, zs, opt);
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.002, 0.002}, 0),
+        bem.mesh().nearest_node({0.018, 0.014}, 0),
+        bem.mesh().nearest_node({0.002, 0.014}, 0)};
+
+    robust::FaultInjector::arm("gmres.stall", 2);
+    const MatrixC z = iterative.port_impedance(1e9, ports);
+    robust::FaultInjector::disarm_all();
+
+    const IterativeSolverStats& st = iterative.stats();
+    EXPECT_EQ(st.dense_fallbacks, 1u);
+    // Column 1 completed, column 2 stalled, column 3 was never attempted
+    // (the attempt aborts to escalate); the ladder had no Diagonal rung to
+    // escalate from, so the dense fallback ran immediately.
+    EXPECT_EQ(st.solves, 2u);
+    EXPECT_EQ(st.precond_escalations, 0u);
+    // The completed column's true residual is real work that happened; it
+    // must fold into the telemetry even though dense results replaced it.
+    EXPECT_GT(st.worst_residual, 0.0);
+    EXPECT_LE(st.worst_residual, opt.fail_tol);
+
+    const DirectSolver direct(bem, zs);
+    EXPECT_LT(max_rel_diff(z, direct.port_impedance(1e9, ports)), 1e-8);
+}
+
+// A stall-driven Diagonal -> NearFieldBlock escalation is sticky: later
+// frequencies of the same solver start on the stronger preconditioner
+// instead of re-stalling, and the recovery report records the promotion
+// exactly once for the solver's lifetime.
+TEST(IterativeSolver, PrecondEscalationIsStickyAcrossSweep) {
+    const PlaneBem bem = make_bem(holey_mesh());
+    const SurfaceImpedance zs = SurfaceImpedance::from_sheet_resistance(1e-3);
+    SolverOptions opt = iterative_options(PreconditionerKind::Diagonal);
+    // A budget Diagonal cannot meet on this mesh (~600 iterations for the
+    // two-column block) but NearFieldBlock (~160) meets easily.
+    opt.gmres.max_iterations = 150;
+    const IterativeSolver iterative(bem, zs, opt);
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.002, 0.002}, 0),
+        bem.mesh().nearest_node({0.018, 0.014}, 0)};
+    const VectorD freqs{8e8, 9e8, 1e9};
+    const auto zi = iterative.sweep_impedance(freqs, ports);
+
+    const IterativeSolverStats& st = iterative.stats();
+    EXPECT_EQ(st.precond_escalations, 1u); // only the first point stalls
+    EXPECT_EQ(st.dense_fallbacks, 0u);
+    EXPECT_EQ(iterative.recovery_report().count("em.precond_escalation"), 1u);
+
+    const DirectSolver direct(bem, zs);
+    const auto zd = direct.sweep_impedance(freqs, ports);
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        EXPECT_LT(max_rel_diff(zi[i], zd[i]), 1e-8) << "f = " << freqs[i];
 }
 
 TEST(IterativeSolver, RejectsInvalidPorts) {

@@ -128,6 +128,16 @@ TEST(VerifyCheckers, DcLimitsHoldOnKnownRectangle) {
     EXPECT_TRUE(res.pass) << res.detail;
 }
 
+TEST(VerifyCheckers, SweepRecycleHoldsOnKnownRectangle) {
+    // The sweep-engine invariant: a warm-started, subspace-recycled
+    // multi-frequency sweep must match cold direct solves point by point.
+    const PlaneScenario s = rect_scenario();
+    const CheckResult r = run_plane_invariant(s, "sweep_recycle", {});
+    EXPECT_TRUE(r.pass) << r.detail;
+    EXPECT_FALSE(r.skipped);
+    EXPECT_LE(r.error, r.tolerance);
+}
+
 TEST(VerifyCheckers, EnergyBalanceHoldsOnGeneratedNetlists) {
     for (int iter = 0; iter < 5; ++iter) {
         Rng rng = Rng::stream(11, iter);
