@@ -208,6 +208,10 @@ DcSolution dc_operating_point(const Netlist& nl) {
 DcSolution dc_operating_point(const Netlist& nl,
                               const robust::RecoveryOptions& opt,
                               robust::RecoveryReport* report) {
+    // Cancellation point: before the plain attempt and (below) before each
+    // continuation family, so a cancelled batch job never grinds through
+    // gmin stepping it no longer needs.
+    if (opt.cancel != nullptr) opt.cancel->poll("dcop.solve");
     const MnaLayout lay(nl);
     const std::size_t ntab = nl.table_conductances().size();
     VectorD table_v(ntab, 0.0);
@@ -240,8 +244,10 @@ DcSolution dc_operating_point(const Netlist& nl,
         double gmin = opt.gmin_start;
         bool ok = true;
         try {
-            for (int s = 0; s < opt.gmin_steps; ++s, gmin *= 0.1)
+            for (int s = 0; s < opt.gmin_steps; ++s, gmin *= 0.1) {
+                if (opt.cancel != nullptr) opt.cancel->poll("dcop.gmin");
                 x = dc_newton(nl, lay, table_v, gmin, 1.0);
+            }
             x = dc_newton(nl, lay, table_v, 0.0, 1.0);
         } catch (const NumericalError&) {
             ok = false;
@@ -263,10 +269,12 @@ DcSolution dc_operating_point(const Netlist& nl,
         table_v.assign(ntab, 0.0);
         bool ok = true;
         try {
-            for (int s = 1; s <= opt.source_steps; ++s)
+            for (int s = 1; s <= opt.source_steps; ++s) {
+                if (opt.cancel != nullptr) opt.cancel->poll("dcop.source_ramp");
                 x = dc_newton(nl, lay, table_v, 0.0,
                               static_cast<double>(s) /
                                   static_cast<double>(opt.source_steps));
+            }
         } catch (const NumericalError&) {
             ok = false;
         }

@@ -350,6 +350,10 @@ struct TransientStepper::Impl {
     }
 
     void advance() {
+        // Cancellation point: one poll per time step, before any state of
+        // this step is touched, so a cancelled run stops on a consistent
+        // previous-step state.
+        if (ropt.cancel != nullptr) ropt.cancel->poll("transient.step");
         const auto wall0 = std::chrono::steady_clock::now();
         PGSI_ALLOC_SCOPE("circuit.transient");
         if (!streams_opened && obs::streams_enabled()) {

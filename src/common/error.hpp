@@ -71,6 +71,15 @@ public:
     explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a cooperative cancellation point observes a tripped
+/// CancelToken (job deadline expired, batch shutdown). Not a numerical
+/// failure: the partial work is simply abandoned and must not be retried
+/// with stronger numerics.
+class Cancelled : public Error {
+public:
+    explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
                                       const std::string& msg) {

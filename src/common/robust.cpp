@@ -1,6 +1,8 @@
 #include "common/robust.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -9,6 +11,82 @@
 #include "obs/stream.hpp"
 
 namespace pgsi::robust {
+
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void CancelToken::trip(std::string reason, bool from_deadline) const noexcept {
+    {
+        const std::lock_guard<std::mutex> lock(reason_mu_);
+        if (reason_.empty()) reason_ = std::move(reason);
+    }
+    if (from_deadline) deadline_hit_.store(true, std::memory_order_release);
+    flag_.store(true, std::memory_order_release);
+}
+
+void CancelToken::cancel(std::string reason) noexcept {
+    if (flag_.load(std::memory_order_acquire)) return;
+    trip(std::move(reason), false);
+}
+
+void CancelToken::set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0) {
+        deadline_ns_.store(0, std::memory_order_release);
+        return;
+    }
+    const double ns = seconds * 1e9;
+    deadline_ns_.store(
+        steady_now_ns() + static_cast<std::int64_t>(std::min(ns, 9e18)),
+        std::memory_order_release);
+}
+
+void CancelToken::expire_deadline() noexcept {
+    if (deadline_ns_.load(std::memory_order_acquire) == 0) return;
+    trip("deadline expired (forced)", true);
+}
+
+bool CancelToken::cancelled() const noexcept {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0 && steady_now_ns() >= dl) {
+        trip("deadline expired", true);
+        return true;
+    }
+    return false;
+}
+
+std::string CancelToken::reason() const {
+    if (!cancelled()) return {};
+    const std::lock_guard<std::mutex> lock(reason_mu_);
+    return reason_;
+}
+
+void CancelToken::poll(const char* where) const {
+    if (!cancelled()) return;
+    static obs::Counter& c = obs::counter("robust.cancellations");
+    ++c;
+    throw Cancelled(std::string(where) + ": cancelled — " + reason());
+}
+
+RecoveryOptions escalate_one_rung(const RecoveryOptions& base) {
+    RecoveryOptions r = base;
+    r.policy = RecoveryPolicy::Recover;
+    r.max_timestep_cuts = base.max_timestep_cuts + 2;
+    r.timestep_cut_factor = std::max(base.timestep_cut_factor, 8);
+    r.gmin_steps = base.gmin_steps + 4;
+    r.gmin_start = std::min(1e-1, base.gmin_start * 10);
+    r.source_steps = base.source_steps * 2;
+    r.allow_precond_escalation = true;
+    r.allow_dense_fallback = true;
+    return r;
+}
 
 std::size_t RecoveryReport::count(std::string_view site) const {
     std::size_t n = 0;

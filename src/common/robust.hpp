@@ -25,17 +25,26 @@
 //  * Finite guards — NaN/Inf checks at stage boundaries. A non-finite value
 //    caught at a boundary names the stage instead of corrupting everything
 //    downstream.
+//  * CancelToken — poll-based cooperative cancellation with an optional
+//    deadline, threaded through RecoveryOptions (and therefore through
+//    SolverOptions / TransientOptions) so a batch engine can abandon a
+//    stuck GMRES sweep or transient without killing the process. Engines
+//    poll at their natural boundaries (per frequency, per GMRES column,
+//    per time step) and throw pgsi::Cancelled.
 //  * FaultInjector — deterministic fault injection compiled into the
 //    library. `PGSI_FAULT=<site>:<nth>[:<count>]` (comma-separated list) or
 //    the programmatic arm() force a failure at the N-th call of a site, so
 //    every recovery path above is exercised by ordinary tests instead of
 //    rotting as dead branches. Known sites: `lu.pivot`, `gmres.stall`,
-//    `transient.newton`, `dcop.diverge`.
+//    `transient.newton`, `dcop.diverge`, `serve.job`, `serve.deadline`,
+//    `cache.evict`.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <complex>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +57,59 @@ namespace pgsi::robust {
 enum class RecoveryPolicy {
     Recover, ///< staged fallbacks before declaring failure (default)
     Strict   ///< historical behavior: first failure throws
+};
+
+/// Poll-based cooperative cancellation. A token is armed with cancel() (or
+/// an absolute deadline) by one thread — typically a batch watchdog — and
+/// polled by the solve engines on another: poll() throws pgsi::Cancelled at
+/// the next cancellation point. The deadline is evaluated lazily inside
+/// cancelled(), so a token with a deadline needs no watchdog thread to trip;
+/// the watchdog only shortens the detection latency of flag-only polls.
+/// cancelled() is a relaxed atomic load (plus one clock read while an unhit
+/// deadline is pending), cheap enough for per-iteration polling.
+class CancelToken {
+public:
+    CancelToken() = default;
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /// Trip the token. The first reason sticks; later calls are no-ops.
+    void cancel(std::string reason) noexcept;
+
+    /// Arm (or clear, seconds <= 0) a deadline `seconds` from now on the
+    /// steady clock. Tripping via deadline sets deadline_expired().
+    void set_deadline_after(double seconds) noexcept;
+
+    /// Force the pending deadline to count as expired now (the watchdog's
+    /// "serve.deadline" fault-injection hook uses this). No-op without a
+    /// pending deadline.
+    void expire_deadline() noexcept;
+
+    /// True once cancelled — explicitly or because the deadline passed.
+    bool cancelled() const noexcept;
+
+    /// True when the cancellation came from the deadline.
+    bool deadline_expired() const noexcept {
+        return deadline_hit_.load(std::memory_order_acquire);
+    }
+
+    /// Why the token tripped ("" while not cancelled).
+    std::string reason() const;
+
+    /// Cancellation point: throws pgsi::Cancelled("<where>: <reason>") once
+    /// the token tripped; otherwise returns immediately.
+    void poll(const char* where) const;
+
+private:
+    void trip(std::string reason, bool from_deadline) const noexcept;
+
+    mutable std::atomic_bool flag_{false};
+    mutable std::atomic_bool deadline_hit_{false};
+    /// Steady-clock deadline in ns since epoch; 0 = none armed.
+    std::atomic<std::int64_t> deadline_ns_{0};
+    /// First-trip reason, guarded by the mutex in robust.cpp helpers.
+    mutable std::mutex reason_mu_;
+    mutable std::string reason_;
 };
 
 /// Per-run recovery tuning, threaded from the top-level entry points
@@ -77,7 +139,21 @@ struct RecoveryOptions {
     /// 1-norm condition-number estimate above which a factorization emits a
     /// "robust.condition_warnings" counter tick (0 disables the estimate).
     double condition_warn_threshold = 1e12;
+
+    /// Cooperative cancellation, polled by the engines these options reach
+    /// (transient stepper per step, DC continuation per pass, both sweep
+    /// backends per frequency / GMRES column). Not owned; must outlive the
+    /// run. nullptr (default) disables polling.
+    const CancelToken* cancel = nullptr;
 };
+
+/// One rung up the job-retry ladder: a strictly-more-forgiving copy of
+/// `base`. Each rung deepens the transient timestep cutting, the DC
+/// continuation, and (from rung 1 on) forces the iterative-solver
+/// escalation chain fully open. Used by the batch engine, which escalates a
+/// failing job one rung per retry; a clean solve is unaffected by the rung,
+/// so escalated retries of healthy code paths stay bit-identical.
+RecoveryOptions escalate_one_rung(const RecoveryOptions& base);
 
 /// One recovery (or health warning) taken during a run.
 struct RecoveryEvent {

@@ -93,6 +93,10 @@ MatrixC IterativeSolver::solve_ports(
     double freq_hz, const std::vector<std::size_t>& port_nodes,
     SweepState* sweep) const {
     PGSI_ALLOC_SCOPE("em.iterative");
+    // Cancellation point: one poll per frequency; run_attempt below polls
+    // again per GMRES solve so a multi-column stall cancels mid-frequency.
+    if (options_.recovery.cancel != nullptr)
+        options_.recovery.cancel->poll("em.iterative.solve");
     const double omega = 2.0 * pi * freq_hz;
     const Complex jw(0.0, omega);
     const Complex inv_jw = 1.0 / jw;
@@ -318,6 +322,8 @@ MatrixC IterativeSolver::solve_ports(
     std::vector<double> colres(p, 1.0);
     std::vector<bool> ok(p, false);
     auto run_attempt = [&]() {
+        if (options_.recovery.cancel != nullptr)
+            options_.recovery.cancel->poll("em.iterative.gmres");
         std::vector<std::size_t> pend;
         for (std::size_t k = 0; k < p; ++k)
             if (!ok[k]) pend.push_back(k);
@@ -351,6 +357,8 @@ MatrixC IterativeSolver::solve_ports(
                                    static_cast<double>(br.iterations));
         } else {
             for (const std::size_t k : pend) {
+                if (options_.recovery.cancel != nullptr)
+                    options_.recovery.cancel->poll("em.iterative.gmres");
                 VectorC v = x0[k];
                 const GmresResult gr =
                     gmres(apply, rhs[k], v, options_.gmres, precond);
@@ -658,7 +666,7 @@ std::unique_ptr<PlaneSolver> make_solver(const PlaneBem& bem,
     }
     if (backend == SolverBackend::Iterative)
         return std::make_unique<IterativeSolver>(bem, zs, options);
-    return std::make_unique<DirectSolver>(bem, zs);
+    return std::make_unique<DirectSolver>(bem, zs, options.recovery);
 }
 
 } // namespace pgsi

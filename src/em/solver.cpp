@@ -21,8 +21,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 } // namespace
 
-DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs)
-    : bem_(bem), zs_(zs) {}
+DirectSolver::DirectSolver(const PlaneBem& bem, SurfaceImpedance zs,
+                           robust::RecoveryOptions recovery)
+    : bem_(bem), zs_(zs), recovery_(recovery) {}
 
 MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
     PGSI_REQUIRE(freq_hz > 0, "DirectSolver: frequency must be positive");
@@ -105,6 +106,9 @@ MatrixC DirectSolver::nodal_admittance(double freq_hz) const {
 MatrixC DirectSolver::port_impedance(
     double freq_hz, const std::vector<std::size_t>& port_nodes) const {
     PGSI_REQUIRE(!port_nodes.empty(), "DirectSolver: no port nodes given");
+    // Cancellation point: one poll per frequency point (sweeps reach here
+    // from pool workers; the first throw cancels the remaining chunks).
+    if (recovery_.cancel != nullptr) recovery_.cancel->poll("em.direct.solve");
     PGSI_TRACE_SCOPE("em.solve.port_impedance");
     PGSI_ALLOC_SCOPE("em.solve");
     const MatrixC y = nodal_admittance(freq_hz);

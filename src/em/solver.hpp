@@ -143,8 +143,11 @@ class DirectSolver : public PlaneSolver {
 public:
     /// zs: frequency-dependent surface impedance applied to all branches
     /// (scaled by each branch's length/width). Pass a default-constructed
-    /// SurfaceImpedance for the lossless case.
-    DirectSolver(const PlaneBem& bem, SurfaceImpedance zs);
+    /// SurfaceImpedance for the lossless case. `recovery` carries the
+    /// cooperative CancelToken (polled once per frequency point); the dense
+    /// path has no numerical ladder of its own.
+    DirectSolver(const PlaneBem& bem, SurfaceImpedance zs,
+                 robust::RecoveryOptions recovery = {});
 
     const char* backend_name() const override { return "direct"; }
 
@@ -173,6 +176,7 @@ public:
 private:
     const PlaneBem& bem_;
     SurfaceImpedance zs_;
+    robust::RecoveryOptions recovery_;
     mutable std::mutex stats_mu_; // sweeps update stats_ from pool workers
     mutable DirectSolverStats stats_;
 };

@@ -204,10 +204,27 @@ AdaptiveSweepResult adaptive_sweep_impedance(
             pending = std::move(next);
         }
         // Points left neither solved nor validated-filled (gaps dropped by
-        // the max_solves cap) get the latest model — best effort, and the
-        // `solved` mask tells the caller these are unvalidated.
+        // the max_solves cap) get the latest model — best effort. This is a
+        // silent-degradation hazard, so it is surfaced three ways: the
+        // unvalidated_points count, a "sweep.budget_exhausted" recovery
+        // event, and an obs counter (plus the `solved` mask as before).
+        static obs::Counter& c_unvalidated =
+            obs::counter("em.sweep.unvalidated_fills");
         for (std::size_t i = 0; i < nf; ++i)
-            if (!res.solved[i] && !filled[i]) fill_point(i);
+            if (!res.solved[i] && !filled[i]) {
+                fill_point(i);
+                ++res.unvalidated_points;
+            }
+        if (res.unvalidated_points > 0) {
+            c_unvalidated.add(res.unvalidated_points);
+            robust::note_recovery(
+                &res.recovery, "sweep.budget_exhausted",
+                "max_solves budget (" + std::to_string(options.max_solves) +
+                    ") ran out with " + std::to_string(res.unvalidated_points) +
+                    " of " + std::to_string(nf) +
+                    " grid points filled from the rational model without a "
+                    "validating probe");
+        }
     } catch (const NumericalError&) {
         // Rational interpolation is not viable on this data; degrade to the
         // exhaustive sweep rather than returning model-shaped garbage.

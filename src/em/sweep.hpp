@@ -58,6 +58,14 @@ struct AdaptiveSweepResult {
     /// actually-measured bound on the model's interpolation error, not the
     /// fit's own residual.
     double worst_validated_error = 0;
+    /// Points filled from the rational model WITHOUT a validating probe
+    /// because the max_solves budget ran out first. These carry no measured
+    /// error bound; worst_validated_error does not speak for them.
+    std::size_t unvalidated_points = 0;
+    /// Degradations taken during the sweep ("sweep.budget_exhausted" when
+    /// unvalidated_points > 0), so callers see the unvalidated fill without
+    /// scraping the solved mask.
+    robust::RecoveryReport recovery;
 };
 
 /// Adaptively sweep Z(f) over `freqs_hz` (strictly increasing) at the given

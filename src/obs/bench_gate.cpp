@@ -23,6 +23,9 @@ MetricClass classify(std::string_view key) {
         "n",       "nodes",   "branches",      "threads",
         "schema",  "sweep_freqs", "cache_entries", "fill_speedup",
         "speedup", "peak_rss_bytes", "matvec_reduction",
+        // Higher-is-better ratios of the batch bench: a faster machine
+        // would fail the count class's fresh > golden check.
+        "jobs_per_s", "cache_hit_rate",
     };
     for (const std::string_view s : kSkip)
         if (key == s) return MetricClass::Skip;

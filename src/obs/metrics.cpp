@@ -39,6 +39,29 @@ void Histogram::reset() {
     s_ = Snapshot{0, 0, 0, 0, std::vector<std::uint64_t>(kBuckets, 0)};
 }
 
+double histogram_quantile(const Histogram::Snapshot& s, double q) {
+    if (s.count == 0 || s.buckets.empty()) return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(s.count);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        if (s.buckets[b] == 0) continue;
+        const std::uint64_t next = cum + s.buckets[b];
+        if (static_cast<double>(next) >= rank) {
+            // Bucket 0 holds [0, 1); bucket k >= 1 holds [2^(k-1), 2^k).
+            const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+            const double hi = std::ldexp(1.0, static_cast<int>(b));
+            const double frac =
+                (rank - static_cast<double>(cum)) /
+                static_cast<double>(s.buckets[b]);
+            const double v = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+            return std::min(s.max, std::max(s.min, v));
+        }
+        cum = next;
+    }
+    return s.max;
+}
+
 namespace {
 
 // One registry per metric kind. Values are leaked intentionally: metrics may

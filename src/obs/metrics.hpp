@@ -75,6 +75,13 @@ private:
     Snapshot s_{0, 0, 0, 0, std::vector<std::uint64_t>(kBuckets, 0)};
 };
 
+/// Approximate q-quantile (q in [0, 1]) of a histogram snapshot: the rank
+/// is located in the power-of-two buckets and interpolated linearly inside
+/// its bucket, clamped to the observed [min, max]. Returns 0 for an empty
+/// histogram. Resolution is the bucket width (a factor of 2), which is what
+/// latency percentiles for dashboards and bench records need.
+double histogram_quantile(const Histogram::Snapshot& s, double q);
+
 /// Find-or-create; the returned reference is valid for the process lifetime.
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);

@@ -1,0 +1,299 @@
+#include "serve/job.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "si/board_file.hpp"
+
+namespace pgsi::serve {
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("serve: cannot open file: " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Per-job field lookup with "defaults" overlay: the job object wins, the
+/// campaign defaults fill the gaps.
+class FieldView {
+public:
+    FieldView(const JsonValue& job, const JsonValue* defaults)
+        : job_(job), defaults_(defaults) {}
+
+    const JsonValue* find(std::string_view key) const {
+        if (const JsonValue* v = job_.find(key)) return v;
+        return defaults_ != nullptr ? defaults_->find(key) : nullptr;
+    }
+    double num(std::string_view key, double fallback) const {
+        const JsonValue* v = find(key);
+        return v != nullptr && v->is_number() ? v->number : fallback;
+    }
+    std::string str(std::string_view key, std::string_view fallback) const {
+        const JsonValue* v = find(key);
+        return v != nullptr && v->is_string() ? v->string
+                                              : std::string(fallback);
+    }
+
+private:
+    const JsonValue& job_;
+    const JsonValue* defaults_;
+};
+
+const std::set<std::string, std::less<>> kKnownFields = {
+    "id",       "type",    "board",       "board_file", "pitch",
+    "interior", "prune",   "vrm_r",       "vrm_l",      "freqs",
+    "fmin",     "fmax",    "points",      "ports",      "backend",
+    "dt",       "tstop",   "deadline_s",  "max_retries", "backoff_s",
+    "backoff_multiplier"};
+
+void check_known_fields(const JsonValue& obj, const std::string& where) {
+    for (const auto& [key, value] : obj.object) {
+        (void)value;
+        if (kKnownFields.find(key) == kKnownFields.end())
+            throw InvalidArgument("job file: unknown field \"" + key +
+                                  "\" in " + where);
+    }
+}
+
+SolverBackend parse_backend(const std::string& name, const std::string& id) {
+    if (name == "auto") return SolverBackend::Auto;
+    if (name == "direct") return SolverBackend::Direct;
+    if (name == "iterative") return SolverBackend::Iterative;
+    throw InvalidArgument("job " + id + ": unknown backend \"" + name +
+                          "\" (auto/direct/iterative)");
+}
+
+VectorD parse_freqs(const FieldView& f, const std::string& id) {
+    if (const JsonValue* fr = f.find("freqs")) {
+        if (!fr->is_array() || fr->array.empty())
+            throw InvalidArgument("job " + id +
+                                  ": \"freqs\" must be a non-empty array");
+        VectorD out;
+        out.reserve(fr->array.size());
+        for (const JsonValue& v : fr->array) {
+            if (!v.is_number())
+                throw InvalidArgument("job " + id + ": non-numeric frequency");
+            out.push_back(v.number);
+        }
+        return out;
+    }
+    const double fmin = f.num("fmin", 1e7);
+    const double fmax = f.num("fmax", 1e9);
+    const std::size_t points =
+        static_cast<std::size_t>(f.num("points", 16));
+    if (fmin <= 0 || fmax < fmin || points == 0)
+        throw InvalidArgument("job " + id + ": need 0 < fmin <= fmax and "
+                              "points >= 1");
+    VectorD out(points);
+    if (points == 1) {
+        out[0] = fmin;
+        return out;
+    }
+    // Log-spaced grid; the exact same expression every time keeps job
+    // digests reproducible across platforms with the same libm.
+    const double ratio = fmax / fmin;
+    for (std::size_t i = 0; i < points; ++i)
+        out[i] = fmin * std::pow(ratio, static_cast<double>(i) /
+                                            static_cast<double>(points - 1));
+    out.back() = fmax;
+    return out;
+}
+
+std::vector<Point2> parse_ports(const FieldView& f, const std::string& id) {
+    const JsonValue* ports = f.find("ports");
+    if (ports == nullptr) return {};
+    if (!ports->is_array())
+        throw InvalidArgument("job " + id + ": \"ports\" must be an array of "
+                              "[x, y] pairs");
+    std::vector<Point2> out;
+    out.reserve(ports->array.size());
+    for (const JsonValue& p : ports->array) {
+        if (!p.is_array() || p.array.size() != 2 || !p.array[0].is_number() ||
+            !p.array[1].is_number())
+            throw InvalidArgument("job " + id +
+                                  ": each port must be an [x, y] pair");
+        out.push_back({p.array[0].number, p.array[1].number});
+    }
+    return out;
+}
+
+JobSpec parse_one_job(const JsonValue& obj, const JsonValue* defaults,
+                      const std::string& base_dir, std::size_t index) {
+    if (!obj.is_object())
+        throw InvalidArgument("job file: each job must be an object");
+    check_known_fields(obj, "job " + std::to_string(index));
+    const FieldView f(obj, defaults);
+
+    JobSpec spec;
+    spec.id = obj.str_or("id", "job" + std::to_string(index + 1));
+
+    const std::string type = f.str("type", "sweep");
+    if (type == "sweep")
+        spec.kind = JobKind::Sweep;
+    else if (type == "transient")
+        spec.kind = JobKind::Transient;
+    else
+        throw InvalidArgument("job " + spec.id + ": unknown type \"" + type +
+                              "\" (sweep/transient)");
+
+    if (const JsonValue* board = f.find("board")) {
+        if (!board->is_string())
+            throw InvalidArgument("job " + spec.id +
+                                  ": \"board\" must be a string");
+        spec.board_text = board->string;
+    } else if (const JsonValue* file = f.find("board_file")) {
+        if (!file->is_string())
+            throw InvalidArgument("job " + spec.id +
+                                  ": \"board_file\" must be a string");
+        std::string path = file->string;
+        if (!base_dir.empty() && !path.empty() && path[0] != '/')
+            path = base_dir + "/" + path;
+        spec.board_text = read_text_file(path);
+    } else {
+        throw InvalidArgument("job " + spec.id +
+                              ": needs \"board\" or \"board_file\"");
+    }
+    // Validate the geometry now: a bad board should fail the parse, not a
+    // worker thread deep inside the batch.
+    try {
+        (void)parse_board_file(spec.board_text);
+    } catch (Error& e) {
+        e.with_context("in the board of job " + spec.id);
+        throw;
+    }
+
+    spec.model.mesh_pitch = f.num("pitch", spec.model.mesh_pitch);
+    spec.model.interior_nodes = static_cast<std::size_t>(
+        f.num("interior", static_cast<double>(spec.model.interior_nodes)));
+    spec.model.prune_rel_tol = f.num("prune", spec.model.prune_rel_tol);
+    spec.model.vrm_r = f.num("vrm_r", spec.model.vrm_r);
+    spec.model.vrm_l = f.num("vrm_l", spec.model.vrm_l);
+
+    if (spec.kind == JobKind::Sweep) {
+        spec.freqs_hz = parse_freqs(f, spec.id);
+        for (std::size_t i = 0; i + 1 < spec.freqs_hz.size(); ++i)
+            if (!(spec.freqs_hz[i] < spec.freqs_hz[i + 1]))
+                throw InvalidArgument("job " + spec.id +
+                                      ": frequencies must be strictly "
+                                      "increasing");
+        spec.ports = parse_ports(f, spec.id);
+    } else {
+        spec.dt = f.num("dt", spec.dt);
+        spec.tstop = f.num("tstop", spec.tstop);
+        if (spec.dt <= 0 || spec.tstop <= spec.dt)
+            throw InvalidArgument("job " + spec.id +
+                                  ": need 0 < dt < tstop");
+    }
+
+    spec.backend = parse_backend(f.str("backend", "auto"), spec.id);
+    spec.deadline_s = f.num("deadline_s", 0);
+    spec.max_retries = static_cast<int>(f.num("max_retries", 0));
+    spec.backoff_s = f.num("backoff_s", 0);
+    spec.backoff_multiplier = f.num("backoff_multiplier", 2.0);
+    if (spec.max_retries < 0 || spec.backoff_s < 0 ||
+        spec.backoff_multiplier < 1.0)
+        throw InvalidArgument("job " + spec.id +
+                              ": retry knobs must be non-negative "
+                              "(multiplier >= 1)");
+    return spec;
+}
+
+} // namespace
+
+const char* to_string(JobState state) noexcept {
+    switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+    case JobState::DeadlineExpired: return "deadline_expired";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Resumed: return "resumed";
+    }
+    return "unknown";
+}
+
+JobState job_state_from_string(std::string_view name) {
+    for (const JobState s :
+         {JobState::Pending, JobState::Completed, JobState::Failed,
+          JobState::DeadlineExpired, JobState::Cancelled, JobState::Resumed})
+        if (name == to_string(s)) return s;
+    throw InvalidArgument("unknown job state \"" + std::string(name) + "\"");
+}
+
+JobFile parse_jobs(const JsonValue& doc, const std::string& base_dir) {
+    if (!doc.is_object())
+        throw InvalidArgument("job file: top level must be an object");
+    const JsonValue* jobs = doc.find("jobs");
+    if (jobs == nullptr || !jobs->is_array() || jobs->array.empty())
+        throw InvalidArgument("job file: needs a non-empty \"jobs\" array");
+    const JsonValue* defaults = doc.find("defaults");
+    if (defaults != nullptr) {
+        if (!defaults->is_object())
+            throw InvalidArgument("job file: \"defaults\" must be an object");
+        check_known_fields(*defaults, "defaults");
+    }
+
+    JobFile out;
+    out.jobs.reserve(jobs->array.size());
+    std::set<std::string> ids;
+    for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+        JobSpec spec = parse_one_job(jobs->array[i], defaults, base_dir, i);
+        if (!ids.insert(spec.id).second)
+            throw InvalidArgument("job file: duplicate job id \"" + spec.id +
+                                  "\"");
+        out.jobs.push_back(std::move(spec));
+    }
+    return out;
+}
+
+JobFile parse_job_file(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base_dir =
+        slash == std::string::npos ? std::string() : path.substr(0, slash);
+    return parse_jobs(parse_json_file(path), base_dir);
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t digest_matrices(const std::vector<MatrixC>& z) noexcept {
+    std::uint64_t h = kFnvOffset;
+    const std::uint64_t n = z.size();
+    h = fnv1a64(&n, sizeof n, h);
+    for (const MatrixC& m : z) {
+        const std::uint64_t dims[2] = {m.rows(), m.cols()};
+        h = fnv1a64(dims, sizeof dims, h);
+        // std::complex<double> is two contiguous doubles; hashing the raw
+        // storage hashes the exact IEEE-754 bits of every entry.
+        h = fnv1a64(m.data(), m.rows() * m.cols() * sizeof(Complex), h);
+    }
+    return h;
+}
+
+std::uint64_t digest_transient(const TransientResult& r) noexcept {
+    std::uint64_t h = kFnvOffset;
+    const std::uint64_t dims[2] = {r.time.size(), r.probes.size()};
+    h = fnv1a64(dims, sizeof dims, h);
+    h = fnv1a64(r.time.data(), r.time.size() * sizeof(double), h);
+    for (const VectorD& s : r.samples)
+        h = fnv1a64(s.data(), s.size() * sizeof(double), h);
+    return h;
+}
+
+} // namespace pgsi::serve

@@ -1,0 +1,142 @@
+// Batch-job vocabulary of the pgsi::serve engine: what one solve request
+// looks like, what its outcome record carries, and the deterministic digests
+// that make outcomes comparable across runs.
+//
+// A JobSpec is self-contained: it embeds the board description *text* (not a
+// path), the extraction knobs, and either a frequency grid (sweep jobs) or a
+// transient window. Self-containment is what makes the engine's guarantees
+// simple — the same JobSpec always denotes the same computation, the model
+// cache can key on the spec's geometry alone, and a resumed campaign re-runs
+// exactly the jobs whose specs it re-reads.
+//
+// Job files are JSON (parsed with the io/json reader):
+//
+//   {
+//     "schema": "pgsi.jobs/1",
+//     "defaults": { "pitch": 12e-3, "deadline_s": 30, "max_retries": 2 },
+//     "jobs": [
+//       { "id": "sweep-a", "type": "sweep", "board": "<board-file text>",
+//         "fmin": 1e7, "fmax": 1e9, "points": 24,
+//         "ports": [[0.02, 0.02], [0.1, 0.05]], "backend": "auto" },
+//       { "id": "tran-a", "type": "transient", "board_file": "eval.brd",
+//         "dt": 5e-11, "tstop": 2e-8 }
+//     ]
+//   }
+//
+// Every job field may appear in "defaults"; per-job values win. "board_file"
+// paths resolve relative to the job file and are inlined at parse time, so
+// the parsed JobSpec is again self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/transient.hpp"
+#include "common/robust.hpp"
+#include "em/solver.hpp"
+#include "geometry/point2.hpp"
+#include "io/json.hpp"
+#include "si/cosim.hpp"
+
+namespace pgsi::serve {
+
+/// What kind of solve a job requests.
+enum class JobKind {
+    Sweep,    ///< frequency-domain Z(f) at the job's ports
+    Transient ///< time-domain SSN simulation of the board
+};
+
+/// One self-contained solve request.
+struct JobSpec {
+    std::string id;               ///< unique within a campaign
+    JobKind kind = JobKind::Sweep;
+    std::string board_text;       ///< board description (si/board_file format)
+    SsnModelOptions model;        ///< extraction knobs (part of the cache key)
+
+    // Sweep jobs.
+    VectorD freqs_hz;             ///< strictly increasing frequency grid
+    /// Port locations on the board; empty falls back to the driver Vcc pins,
+    /// then to the regulator location.
+    std::vector<Point2> ports;
+    SolverBackend backend = SolverBackend::Auto;
+
+    // Transient jobs.
+    double dt = 50e-12;
+    double tstop = 20e-9;
+
+    // Fault containment.
+    double deadline_s = 0;        ///< wall-clock budget from job start; 0 = none
+    int max_retries = 0;          ///< extra attempts after a failed first one
+    double backoff_s = 0;         ///< sleep before retry k: backoff_s * mult^k
+    double backoff_multiplier = 2.0;
+};
+
+/// Terminal state of one job.
+enum class JobState {
+    Pending,         ///< not yet run (only seen mid-batch)
+    Completed,       ///< solved; payload and digest are valid
+    Failed,          ///< every attempt raised; error holds the last message
+    DeadlineExpired, ///< abandoned at a cancellation point past its deadline
+    Cancelled,       ///< abandoned after an explicit cancel_all()
+    Resumed          ///< skipped: the journal already holds a completed record
+};
+
+const char* to_string(JobState state) noexcept;
+/// Inverse of to_string; throws InvalidArgument on an unknown name.
+JobState job_state_from_string(std::string_view name);
+
+/// Outcome of one job: terminal state, containment bookkeeping, and (for
+/// jobs executed in this process) the solve payload itself.
+struct JobReport {
+    std::string id;
+    JobState state = JobState::Pending;
+    int attempts = 0;          ///< 1 = clean first try
+    bool cache_hit = false;    ///< plane model came from the ModelCache
+    double wall_seconds = 0;   ///< job wall time including retries/backoff
+    /// FNV-1a digest over the raw result bits (digest_matrices /
+    /// digest_transient) — the bit-identity handle used by the journal,
+    /// resume verification, and the serve_equivalence invariant.
+    std::uint64_t digest = 0;
+    /// One scalar headline: peak |Z| entry (sweep) or worst supply-node
+    /// excursion from DC (transient).
+    double summary = 0;
+    std::string error;         ///< last failure message ("" when clean)
+    robust::RecoveryReport recovery; ///< serve.* events + engine recoveries
+
+    // Payloads. Empty for Resumed jobs (the journal stores digests, not
+    // waveforms — re-run without --resume to regenerate data).
+    std::vector<MatrixC> z;    ///< sweep: Z at each requested frequency
+    TransientResult transient; ///< transient: recorded waveforms
+};
+
+/// A parsed job file.
+struct JobFile {
+    std::vector<JobSpec> jobs;
+};
+
+/// Parse a job-file document. `base_dir` resolves relative "board_file"
+/// references (pass the job file's directory). Throws InvalidArgument on
+/// malformed documents, unknown fields' values, or duplicate ids.
+JobFile parse_jobs(const JsonValue& doc, const std::string& base_dir = "");
+
+/// Read and parse a job file from disk.
+JobFile parse_job_file(const std::string& path);
+
+// --- deterministic digests ---------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+
+/// FNV-1a over a byte range, seedable for chaining.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = kFnvOffset) noexcept;
+
+/// Digest of a sweep result: the IEEE-754 bits of every matrix entry, in
+/// (frequency, row, column) order. Bit-identical results — and only those —
+/// produce equal digests.
+std::uint64_t digest_matrices(const std::vector<MatrixC>& z) noexcept;
+
+/// Digest of a transient result: sample times then every probe sample.
+std::uint64_t digest_transient(const TransientResult& r) noexcept;
+
+} // namespace pgsi::serve

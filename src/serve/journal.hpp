@@ -1,0 +1,70 @@
+// Crash-safe batch journal (pgsi::serve): one JSON line per finished job,
+// appended and fsync'd before the engine moves on, so a campaign killed at
+// any instant can resume with `--resume` and skip exactly the jobs whose
+// records reached the disk.
+//
+// Line format (jobs.jsonl):
+//
+//   {"id":"sweep-a","state":"completed","attempts":1,"cache_hit":true,
+//    "digest":"9f86d081884c7d65","summary":1.25e-2,"wall_s":0.034,
+//    "error":""}
+//
+// The digest is the job's result digest (serve/job.hpp) rendered as 16 hex
+// digits — JSON numbers cannot carry 64 bits losslessly. load() tolerates a
+// torn final line (the signature of a kill mid-append) and counts skipped
+// lines in the "serve.journal.torn_lines" counter; every well-formed line
+// is returned in file order, later records for the same id superseding
+// earlier ones at the consumer's discretion (the engine keeps the last).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace pgsi::serve {
+
+/// One journal line, schema-stable across sessions.
+struct JournalRecord {
+    std::string id;
+    JobState state = JobState::Pending;
+    int attempts = 0;
+    bool cache_hit = false;
+    std::uint64_t digest = 0;
+    double summary = 0;
+    double wall_seconds = 0;
+    std::string error;
+};
+
+/// Project a finished job onto its journal line.
+JournalRecord to_journal_record(const JobReport& report);
+
+/// Append-only journal writer. Opens (creating if needed) on construction;
+/// every append() writes one line and fsyncs before returning, so a record
+/// the caller saw appended survives a crash.
+class Journal {
+public:
+    explicit Journal(const std::string& path);
+    ~Journal();
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /// Serialize, write, fsync. Throws pgsi::Error on I/O failure. Safe to
+    /// call from multiple threads.
+    void append(const JournalRecord& record);
+
+    const std::string& path() const { return path_; }
+
+    /// Parse a journal back. Missing file yields an empty vector; malformed
+    /// lines (the torn tail of a killed writer) are skipped and counted in
+    /// "serve.journal.torn_lines".
+    static std::vector<JournalRecord> load(const std::string& path);
+
+private:
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mu_;
+};
+
+} // namespace pgsi::serve

@@ -11,8 +11,11 @@
 #include "common/robust.hpp"
 #include "em/cavity_model.hpp"
 #include "em/iterative_solver.hpp"
+#include "em/surface_impedance.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/lu.hpp"
+#include "serve/engine.hpp"
+#include "si/board_file.hpp"
 
 namespace pgsi::verify {
 
@@ -432,6 +435,103 @@ CheckResult inv_backend_cavity(const InvariantContext& ctx) {
     return r;
 }
 
+// Batch-engine equivalence: a campaign routed through pgsi::serve — shared
+// model cache, single-flight builds, one fault-injected retry at an
+// escalated recovery rung — must reproduce the library's direct solve bit
+// for bit. The scenario parameterizes the board (dimensions, dielectric,
+// sheet resistance, pitch), so the property is exercised across the whole
+// generator distribution, not one fixture.
+CheckResult inv_serve_equivalence(const InvariantContext& ctx) {
+    CheckResult r;
+    r.invariant = "serve_equivalence";
+    r.tolerance = 0; // bitwise: digests either match or they do not
+    const ShapeSpec& sh = ctx.scenario.shapes[0];
+    const double w = sh.nx * ctx.scenario.pitch;
+    const double h = sh.ny * ctx.scenario.pitch;
+    char board[512];
+    std::snprintf(board, sizeof board,
+                  "board %.9g %.9g\n"
+                  "stackup sep %.9g eps %.9g sheet %.9g\n"
+                  "vrm %.9g %.9g\n"
+                  "driver d0 vcc %.9g %.9g gnd %.9g %.9g switch rise 1n "
+                  "delay 1n width 4n\n"
+                  "decap %.9g %.9g\n",
+                  w, h, sh.z, ctx.scenario.eps_r,
+                  ctx.scenario.sheet_resistance, 0.2 * w, 0.2 * h, 0.5 * w,
+                  0.5 * h, 0.5 * w, 0.4 * h, 0.3 * w, 0.7 * h);
+
+    serve::JobSpec spec;
+    spec.kind = serve::JobKind::Sweep;
+    spec.board_text = board;
+    spec.model.mesh_pitch = ctx.scenario.pitch;
+    spec.model.interior_nodes = 6;
+    spec.freqs_hz = {0.3 * ctx.f10, 0.7 * ctx.f10};
+    spec.ports = {{0.3 * w, 0.3 * h}, {0.7 * w, 0.6 * h}};
+    spec.backend = SolverBackend::Direct;
+    spec.max_retries = 1;
+
+    // The direct solve the campaign must reproduce.
+    const Board direct_board = parse_board_file(spec.board_text);
+    const auto model =
+        std::make_shared<const PlaneModel>(direct_board, spec.model);
+    SolverOptions sopt;
+    sopt.backend = spec.backend;
+    const std::unique_ptr<PlaneSolver> direct = make_solver(
+        model->bem(),
+        SurfaceImpedance::from_sheet_resistance(
+            direct_board.stackup().sheet_resistance),
+        sopt);
+    std::vector<std::size_t> nodes;
+    for (const Point2& p : spec.ports)
+        nodes.push_back(model->bem().mesh().nearest_node_any(p));
+    const std::uint64_t want = serve::digest_matrices(
+        direct->sweep_impedance(spec.freqs_hz, nodes));
+
+    // Three identical jobs: the cache must collapse them to one build, and
+    // the injected fault must cost one retry — not the answer.
+    std::vector<serve::JobSpec> jobs(3, spec);
+    jobs[0].id = "eq-a";
+    jobs[1].id = "eq-b";
+    jobs[2].id = "eq-c";
+    robust::FaultInjector::arm("serve.job", 1, 1);
+    serve::ModelCache cache;
+    serve::BatchOptions bopt;
+    bopt.cache = &cache;
+    serve::JobQueue queue(bopt);
+    const serve::BatchResult res = queue.run(jobs);
+    robust::FaultInjector::disarm_all();
+
+    if (!res.all_completed()) {
+        r.pass = false;
+        r.error = 1;
+        r.detail = "batch did not complete: " +
+                   std::to_string(res.stats.failed) + " failed";
+        return r;
+    }
+    for (const serve::JobReport& rep : res.reports)
+        if (rep.digest != want) {
+            r.pass = false;
+            r.error = 1;
+            r.detail = "job " + rep.id + " digest diverged from the direct "
+                       "solve (attempts=" + std::to_string(rep.attempts) + ")";
+            return r;
+        }
+    if (res.stats.retries != 1 || res.stats.cache_hits != 2 ||
+        res.stats.cache_misses != 1) {
+        r.pass = false;
+        r.error = 1;
+        r.detail = "containment accounting off: retries=" +
+                   std::to_string(res.stats.retries) + " cache=" +
+                   std::to_string(res.stats.cache_hits) + "/" +
+                   std::to_string(res.stats.cache_hits +
+                                  res.stats.cache_misses);
+        return r;
+    }
+    r.pass = true;
+    r.error = 0;
+    return r;
+}
+
 } // namespace
 
 const std::vector<PlaneInvariant>& plane_invariants() {
@@ -444,6 +544,7 @@ const std::vector<PlaneInvariant>& plane_invariants() {
         {"backend_iterative", "backends", inv_backend_iterative},
         {"sweep_recycle", "backends", inv_sweep_recycle},
         {"backend_cavity", "backends", inv_backend_cavity},
+        {"serve_equivalence", "backends", inv_serve_equivalence},
     };
     return registry;
 }

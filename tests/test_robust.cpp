@@ -7,6 +7,7 @@
 // recovery is visible in the RecoveryReport and the pgsi::obs counters.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <random>
@@ -32,7 +33,10 @@ using namespace pgsi;
 // own process and the ordering constraint is moot.)
 
 TEST(RobustEnv, FaultGrammarParsesSiteNthCountLists) {
-    ::setenv("PGSI_FAULT", "lu.pivot:2,gmres.stall:1:0,bogus,alsobad:", 1);
+    ::setenv("PGSI_FAULT",
+             "lu.pivot:2,gmres.stall:1:0,serve.job:2:2,serve.deadline:1,"
+             "cache.evict:1:0,bogus,alsobad:",
+             1);
     // lu.pivot fires on exactly the 2nd call.
     EXPECT_FALSE(robust::FaultInjector::should_fire("lu.pivot"));
     EXPECT_TRUE(robust::FaultInjector::should_fire("lu.pivot"));
@@ -40,10 +44,26 @@ TEST(RobustEnv, FaultGrammarParsesSiteNthCountLists) {
     // gmres.stall: count 0 = every call from the 1st on.
     EXPECT_TRUE(robust::FaultInjector::should_fire("gmres.stall"));
     EXPECT_TRUE(robust::FaultInjector::should_fire("gmres.stall"));
+    // Batch-engine sites use the same grammar: serve.job fires on calls 2-3
+    // (nth=2, count=2)...
+    EXPECT_FALSE(robust::FaultInjector::should_fire("serve.job"));
+    EXPECT_TRUE(robust::FaultInjector::should_fire("serve.job"));
+    EXPECT_TRUE(robust::FaultInjector::should_fire("serve.job"));
+    EXPECT_FALSE(robust::FaultInjector::should_fire("serve.job"));
+    // ...serve.deadline defaults count to 1 (first call only)...
+    EXPECT_TRUE(robust::FaultInjector::should_fire("serve.deadline"));
+    EXPECT_FALSE(robust::FaultInjector::should_fire("serve.deadline"));
+    // ...and cache.evict with count=0 fires on every call.
+    EXPECT_TRUE(robust::FaultInjector::should_fire("cache.evict"));
+    EXPECT_TRUE(robust::FaultInjector::should_fire("cache.evict"));
+    EXPECT_TRUE(robust::FaultInjector::should_fire("cache.evict"));
     // Malformed entries are ignored, never armed.
     EXPECT_FALSE(robust::FaultInjector::should_fire("bogus"));
     EXPECT_EQ(robust::FaultInjector::fire_count("lu.pivot"), 1u);
     EXPECT_EQ(robust::FaultInjector::fire_count("gmres.stall"), 2u);
+    EXPECT_EQ(robust::FaultInjector::fire_count("serve.job"), 2u);
+    EXPECT_EQ(robust::FaultInjector::fire_count("serve.deadline"), 1u);
+    EXPECT_EQ(robust::FaultInjector::fire_count("cache.evict"), 3u);
     robust::FaultInjector::disarm_all();
     ::unsetenv("PGSI_FAULT");
     EXPECT_FALSE(robust::FaultInjector::should_fire("gmres.stall"));
@@ -433,4 +453,108 @@ TEST_F(Robust, SsnSimulationSurfacesRecoveriesInTheResult) {
     const TransientResult res = model.simulate(50e-12, 1e-9);
     EXPECT_GE(res.stats.timestep_cuts, 1u);
     EXPECT_GE(res.recovery.count("transient.timestep_cut"), 1u);
+}
+
+// --- cooperative cancellation (CancelToken) ---------------------------------
+
+TEST_F(Robust, CancelTokenTripsOnceWithFirstReason) {
+    robust::CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), "");
+    token.cancel("batch shutdown");
+    token.cancel("too late");
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_FALSE(token.deadline_expired());
+    EXPECT_EQ(token.reason(), "batch shutdown");
+    EXPECT_THROW(token.poll("unit.stage"), Cancelled);
+    try {
+        token.poll("unit.stage");
+    } catch (const Cancelled& e) {
+        EXPECT_NE(std::string(e.what()).find("unit.stage"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("batch shutdown"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(Robust, CancelTokenDeadlineTripsLazilyWithoutWatchdog) {
+    robust::CancelToken token;
+    token.set_deadline_after(1e-4); // 100 us
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(200);
+    while (!token.cancelled() && std::chrono::steady_clock::now() < until) {
+    }
+    ASSERT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.deadline_expired());
+    EXPECT_THROW(token.poll("unit.stage"), Cancelled);
+}
+
+TEST_F(Robust, CancelTokenForcedExpiryNeedsAPendingDeadline) {
+    robust::CancelToken without;
+    without.expire_deadline(); // no deadline armed: must be a no-op
+    EXPECT_FALSE(without.cancelled());
+
+    robust::CancelToken with;
+    with.set_deadline_after(3600.0); // far future
+    with.expire_deadline();
+    EXPECT_TRUE(with.cancelled());
+    EXPECT_TRUE(with.deadline_expired());
+}
+
+TEST_F(Robust, CancelTokenAbortsTransientMidRun) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_resistor("R1", a, nl.ground(), 50.0);
+    nl.add_capacitor("C1", a, nl.ground(), 1e-12);
+    nl.add_vsource("V1", a, nl.ground(), Source::dc(1.0));
+
+    robust::CancelToken token;
+    token.cancel("stop now");
+    TransientOptions opt;
+    opt.dt = 1e-11;
+    opt.tstop = 1e-9;
+    opt.recovery.cancel = &token;
+    EXPECT_THROW(transient_analyze(nl, opt), Cancelled);
+}
+
+TEST_F(Robust, CancelTokenAbortsSweepBackends) {
+    ConductorShape shape;
+    shape.outline = Polygon::rectangle(0, 0, 0.04, 0.03);
+    shape.z = 0.4e-3;
+    shape.sheet_resistance = 0.6e-3;
+    const PlaneBem bem(RectMesh({shape}, 0.01), Greens::homogeneous(4.5, true));
+    robust::CancelToken token;
+    token.cancel("batch abandoned");
+
+    SolverOptions opt;
+    opt.recovery.cancel = &token;
+    opt.backend = SolverBackend::Direct;
+    const auto direct = make_solver(
+        bem, SurfaceImpedance::from_sheet_resistance(0.6e-3), opt);
+    EXPECT_THROW(direct->sweep_impedance({1e8, 2e8}, {0}), Cancelled);
+
+    opt.backend = SolverBackend::Iterative;
+    const auto iterative = make_solver(
+        bem, SurfaceImpedance::from_sheet_resistance(0.6e-3), opt);
+    EXPECT_THROW(iterative->sweep_impedance({1e8, 2e8}, {0}), Cancelled);
+}
+
+TEST_F(Robust, EscalateOneRungIsMonotonicallyMoreForgiving) {
+    robust::RecoveryOptions base;
+    base.policy = robust::RecoveryPolicy::Strict;
+    base.allow_precond_escalation = false;
+    base.allow_dense_fallback = false;
+    robust::RecoveryOptions rung = base;
+    for (int k = 0; k < 3; ++k) {
+        const robust::RecoveryOptions next = robust::escalate_one_rung(rung);
+        EXPECT_EQ(next.policy, robust::RecoveryPolicy::Recover);
+        EXPECT_GT(next.max_timestep_cuts, rung.max_timestep_cuts);
+        EXPECT_GE(next.timestep_cut_factor, rung.timestep_cut_factor);
+        EXPECT_GT(next.gmin_steps, rung.gmin_steps);
+        EXPECT_GE(next.gmin_start, rung.gmin_start);
+        EXPECT_GT(next.source_steps, rung.source_steps);
+        EXPECT_TRUE(next.allow_precond_escalation);
+        EXPECT_TRUE(next.allow_dense_fallback);
+        rung = next;
+    }
+    EXPECT_LE(rung.gmin_start, 1e-1);
 }

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "em/iterative_solver.hpp"
 #include "em/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "tests/test_util.hpp"
 
 using namespace pgsi;
@@ -197,11 +198,35 @@ TEST(AdaptiveSweep, MaxSolvesCapsTheWorkAndStillFillsTheGrid) {
     const VectorD freqs = linspace(2e8, 5e9, 64);
     AdaptiveSweepOptions opt;
     opt.max_solves = 12;
+    const std::uint64_t fills_before =
+        obs::counter("em.sweep.unvalidated_fills").value();
     const AdaptiveSweepResult res =
         adaptive_sweep_impedance(direct, freqs, ports, opt);
     EXPECT_LE(res.solves, opt.max_solves);
     for (std::size_t i = 0; i < freqs.size(); ++i)
         EXPECT_GT(res.z[i].rows(), 0u); // every point filled, solved or not
+
+    // The budget binds on this grid (64 points, 12 solves), so the unchecked
+    // model fills must be surfaced, not silent: the result counts them, a
+    // "sweep.budget_exhausted" recovery event names the budget, and the
+    // "em.sweep.unvalidated_fills" counter carries them into exported
+    // metrics.
+    ASSERT_GT(res.unvalidated_points, 0u);
+    EXPECT_EQ(res.recovery.count("sweep.budget_exhausted"), 1u);
+    EXPECT_EQ(obs::counter("em.sweep.unvalidated_fills").value(),
+              fills_before + res.unvalidated_points);
+}
+
+TEST(AdaptiveSweep, UnboundBudgetReportsNoDegradation) {
+    const PlaneBem bem = make_bem(plain_mesh(0.002));
+    const SurfaceImpedance zs = SurfaceImpedance::from_sheet_resistance(1e-3);
+    const DirectSolver direct(bem, zs);
+    const std::vector<std::size_t> ports{
+        bem.mesh().nearest_node({0.002, 0.002}, 0)};
+    const AdaptiveSweepResult res =
+        adaptive_sweep_impedance(direct, linspace(1e8, 1e9, 6), ports);
+    EXPECT_EQ(res.unvalidated_points, 0u);
+    EXPECT_FALSE(res.recovery.any());
 }
 
 TEST(AdaptiveSweep, RejectsInvalidArguments) {
